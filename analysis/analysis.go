@@ -1,0 +1,218 @@
+// Package analysis implements the graph-mining applications the paper
+// motivates RWR with (Section 5): local community detection by sweep cut
+// (Andersen, Chung & Lang), link prediction (Liben-Nowell & Kleinberg),
+// and neighborhood-coherence anomaly scoring (Sun et al.). Every function
+// consumes RWR score vectors produced by a bear.Precomputed (or any other
+// solver), so the package works with exact and approximate scores alike.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"bear"
+)
+
+// volumes returns the weighted out-degree of every node and their total.
+func volumes(g *bear.Graph) (deg []float64, total float64) {
+	n := g.N()
+	deg = make([]float64, n)
+	for u := 0; u < n; u++ {
+		_, w := g.Out(u)
+		for _, x := range w {
+			deg[u] += x
+		}
+		total += deg[u]
+	}
+	return deg, total
+}
+
+// Conductance computes cut(S) / min(vol(S), vol(V∖S)) for a node set,
+// the quality measure sweep cuts minimize. An empty or full set has
+// conductance 1.
+func Conductance(g *bear.Graph, set []int) float64 {
+	n := g.N()
+	in := make([]bool, n)
+	for _, u := range set {
+		if u < 0 || u >= n {
+			panic(fmt.Sprintf("analysis: node %d out of range [0,%d)", u, n))
+		}
+		in[u] = true
+	}
+	var cut, vol, total float64
+	for u := 0; u < n; u++ {
+		dst, w := g.Out(u)
+		for k, v := range dst {
+			total += w[k]
+			if in[u] {
+				vol += w[k]
+				if !in[v] {
+					cut += w[k]
+				}
+			}
+		}
+	}
+	denom := vol
+	if total-vol < denom {
+		denom = total - vol
+	}
+	if denom == 0 {
+		return 1
+	}
+	return cut / denom
+}
+
+// SweepCut orders nodes by degree-normalized score descending and returns
+// the prefix of minimum conductance (restricted to prefixes holding at
+// most half the graph's volume), together with that conductance. It is
+// the local community detection primitive built on RWR vectors: pass the
+// scores of a seed node and get the seed's community.
+func SweepCut(g *bear.Graph, scores []float64) (community []int, conductance float64) {
+	n := g.N()
+	if len(scores) != n {
+		panic(fmt.Sprintf("analysis: %d scores for %d nodes", len(scores), n))
+	}
+	deg, totalVol := volumes(g)
+	order := make([]int, 0, n)
+	for u := 0; u < n; u++ {
+		if scores[u] > 0 && deg[u] > 0 {
+			order = append(order, u)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		ra, rb := scores[a]/deg[a], scores[b]/deg[b]
+		if ra != rb {
+			return ra > rb
+		}
+		return a < b
+	})
+
+	inSet := make([]bool, n)
+	var cut, vol float64
+	best, bestAt := 2.0, 0
+	for i, u := range order {
+		dst, w := g.Out(u)
+		for k, v := range dst {
+			if inSet[v] {
+				cut -= w[k]
+			} else if v != u {
+				cut += w[k]
+			}
+		}
+		inSet[u] = true
+		vol += deg[u]
+		if vol > totalVol/2 {
+			break
+		}
+		denom := vol
+		if totalVol-vol < denom {
+			denom = totalVol - vol
+		}
+		if denom > 0 {
+			if phi := cut / denom; phi < best {
+				best, bestAt = phi, i+1
+			}
+		}
+	}
+	if bestAt == 0 {
+		return nil, 1
+	}
+	return order[:bestAt], best
+}
+
+// PredictLinks returns the k most likely new neighbors of seed under the
+// given RWR scores: the highest-scoring nodes that are neither the seed
+// nor already out-neighbors of it.
+func PredictLinks(g *bear.Graph, seed int, scores []float64, k int) []int {
+	n := g.N()
+	if len(scores) != n {
+		panic(fmt.Sprintf("analysis: %d scores for %d nodes", len(scores), n))
+	}
+	if seed < 0 || seed >= n {
+		panic(fmt.Sprintf("analysis: seed %d out of range [0,%d)", seed, n))
+	}
+	masked := append([]float64(nil), scores...)
+	masked[seed] = -1
+	dst, _ := g.Out(seed)
+	for _, v := range dst {
+		masked[v] = -1
+	}
+	top := bear.TopK(masked, k+len(dst)+1)
+	out := make([]int, 0, k)
+	for _, u := range top {
+		if masked[u] < 0 {
+			continue
+		}
+		out = append(out, u)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// Querier answers single-seed RWR queries; *bear.Precomputed and
+// *bear.Dynamic both satisfy it.
+type Querier interface {
+	Query(seed int) ([]float64, error)
+}
+
+// NeighborhoodCoherence scores how mutually relevant node u's neighbors
+// are: the mean RWR score between ordered pairs of distinct neighbors.
+// Sun et al. flag nodes with low coherence as anomalies (their neighbors
+// belong to unrelated parts of the graph). Nodes with fewer than two
+// neighbors return 1 (vacuously coherent).
+func NeighborhoodCoherence(q Querier, g *bear.Graph, u int) (float64, error) {
+	if u < 0 || u >= g.N() {
+		return 0, fmt.Errorf("analysis: node %d out of range [0,%d)", u, g.N())
+	}
+	nbrs, _ := g.Out(u)
+	if len(nbrs) < 2 {
+		return 1, nil
+	}
+	var total float64
+	var count int
+	for _, i := range nbrs {
+		scores, err := q.Query(i)
+		if err != nil {
+			return 0, err
+		}
+		for _, j := range nbrs {
+			if j != i {
+				total += scores[j]
+				count++
+			}
+		}
+	}
+	return total / float64(count), nil
+}
+
+// AnomalyRanking scores every node in [0, limit) by ascending neighborhood
+// coherence and returns node ids from most to least anomalous. limit ≤ 0
+// scans the whole graph.
+func AnomalyRanking(q Querier, g *bear.Graph, limit int) ([]int, []float64, error) {
+	n := g.N()
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	coh := make([]float64, limit)
+	for u := 0; u < limit; u++ {
+		c, err := NeighborhoodCoherence(q, g, u)
+		if err != nil {
+			return nil, nil, err
+		}
+		coh[u] = c
+	}
+	order := make([]int, limit)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if coh[order[i]] != coh[order[j]] {
+			return coh[order[i]] < coh[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	return order, coh, nil
+}

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"bear"
+)
+
+// twoCliques builds two dense cliques of size sz joined by one bridge
+// edge; the planted community structure every test relies on.
+func twoCliques(sz int) *bear.Graph {
+	b := bear.NewGraphBuilder(2 * sz)
+	for base := 0; base < 2*sz; base += sz {
+		for i := 0; i < sz; i++ {
+			for j := i + 1; j < sz; j++ {
+				b.AddUndirected(base+i, base+j, 1)
+			}
+		}
+	}
+	b.AddUndirected(sz-1, sz, 1)
+	return b.Build()
+}
+
+func rwrScores(t *testing.T, g *bear.Graph, seed int) (*bear.Precomputed, []float64) {
+	t.Helper()
+	p, err := bear.Preprocess(g, bear.Options{K: 2})
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	scores, err := p.Query(seed)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	return p, scores
+}
+
+func TestConductance(t *testing.T) {
+	g := twoCliques(6)
+	// One full clique: only the bridge edge is cut.
+	set := []int{0, 1, 2, 3, 4, 5}
+	phi := Conductance(g, set)
+	// vol(S) = 6·5 + 1 bridge endpoint = 31; cut = 1.
+	if math.Abs(phi-1.0/31.0) > 1e-12 {
+		t.Fatalf("conductance = %g, want %g", phi, 1.0/31.0)
+	}
+	if Conductance(g, nil) != 1 {
+		t.Fatal("empty set should have conductance 1")
+	}
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	if Conductance(g, all) != 1 {
+		t.Fatal("full set should have conductance 1")
+	}
+}
+
+func TestConductancePanicsOutOfRange(t *testing.T) {
+	g := twoCliques(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Conductance(g, []int{99})
+}
+
+func TestSweepCutRecoversClique(t *testing.T) {
+	const sz = 8
+	g := twoCliques(sz)
+	_, scores := rwrScores(t, g, 2) // seed in first clique
+	community, phi := SweepCut(g, scores)
+	if len(community) != sz {
+		t.Fatalf("community size %d, want %d", len(community), sz)
+	}
+	for _, u := range community {
+		if u >= sz {
+			t.Fatalf("community leaked into second clique: node %d", u)
+		}
+	}
+	if phi > 0.05 {
+		t.Fatalf("conductance %g too high for a clique cut", phi)
+	}
+	// The returned conductance matches recomputation from scratch.
+	if recomputed := Conductance(g, community); math.Abs(recomputed-phi) > 1e-12 {
+		t.Fatalf("reported conductance %g != recomputed %g", phi, recomputed)
+	}
+}
+
+func TestSweepCutZeroScores(t *testing.T) {
+	g := twoCliques(4)
+	community, phi := SweepCut(g, make([]float64, g.N()))
+	if community != nil || phi != 1 {
+		t.Fatalf("zero scores should find nothing, got %v %g", community, phi)
+	}
+}
+
+func TestPredictLinks(t *testing.T) {
+	const sz = 6
+	g := twoCliques(sz)
+	// Remove one within-clique edge and check it is predicted back.
+	b := bear.NewGraphBuilder(g.N())
+	for u := 0; u < g.N(); u++ {
+		dst, w := g.Out(u)
+		for k, v := range dst {
+			if (u == 0 && v == 3) || (u == 3 && v == 0) {
+				continue
+			}
+			b.AddEdge(u, v, w[k])
+		}
+	}
+	train := b.Build()
+	_, scores := rwrScores(t, train, 0)
+	pred := PredictLinks(train, 0, scores, 1)
+	if len(pred) != 1 || pred[0] != 3 {
+		t.Fatalf("PredictLinks = %v, want [3]", pred)
+	}
+	// Existing neighbors are never predicted.
+	for _, u := range PredictLinks(train, 0, scores, 5) {
+		if train.HasEdge(0, u) || u == 0 {
+			t.Fatalf("predicted existing neighbor %d", u)
+		}
+	}
+}
+
+func TestNeighborhoodCoherence(t *testing.T) {
+	const sz = 6
+	g := twoCliques(sz)
+	p, _ := rwrScores(t, g, 0)
+	// A clique member's neighbors are mutually adjacent: high coherence.
+	cohIn, err := NeighborhoodCoherence(p, g, 1)
+	if err != nil {
+		t.Fatalf("coherence: %v", err)
+	}
+	if cohIn <= 0 {
+		t.Fatalf("clique coherence %g not positive", cohIn)
+	}
+	if _, err := NeighborhoodCoherence(p, g, -1); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestAnomalyRankingFindsBridgeNode(t *testing.T) {
+	// A node whose neighbors span two cliques is the least coherent.
+	const sz = 6
+	b := bear.NewGraphBuilder(2*sz + 1)
+	for base := 0; base < 2*sz; base += sz {
+		for i := 0; i < sz; i++ {
+			for j := i + 1; j < sz; j++ {
+				b.AddUndirected(base+i, base+j, 1)
+			}
+		}
+	}
+	anom := 2 * sz
+	b.AddUndirected(anom, 0, 1)
+	b.AddUndirected(anom, sz, 1) // one neighbor in each clique
+	g := b.Build()
+	p, err := bear.Preprocess(g, bear.Options{K: 2})
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	order, coh, err := AnomalyRanking(p, g, 0)
+	if err != nil {
+		t.Fatalf("AnomalyRanking: %v", err)
+	}
+	if order[0] != anom {
+		t.Fatalf("most anomalous node %d (coh %g), want %d (coh %g)",
+			order[0], coh[order[0]], anom, coh[anom])
+	}
+}
+
+func TestQuerierInterfaceSatisfied(t *testing.T) {
+	g := twoCliques(4)
+	p, err := bear.Preprocess(g, bear.Options{K: 1})
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	d, err := bear.NewDynamic(g, bear.Options{K: 1})
+	if err != nil {
+		t.Fatalf("NewDynamic: %v", err)
+	}
+	for _, q := range []Querier{p, d} {
+		if _, err := NeighborhoodCoherence(q, g, 0); err != nil {
+			t.Fatalf("querier failed: %v", err)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package bear_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bear"
+)
+
+func buildRing(n int) *bear.Graph {
+	b := bear.NewGraphBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddUndirected(i, (i+1)%n, 1)
+	}
+	return b.Build()
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g := bear.GenerateBarabasiAlbert(500, 2, 1)
+	p, err := bear.Preprocess(g, bear.Options{})
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	scores, err := p.Query(5)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	// Cross-check against the public iterative solver.
+	q := make([]float64, g.N())
+	q[5] = 1
+	ref, err := bear.SolveIterative(g, p.C, q, 1e-12)
+	if err != nil {
+		t.Fatalf("SolveIterative: %v", err)
+	}
+	for i := range ref {
+		if math.Abs(ref[i]-scores[i]) > 1e-9 {
+			t.Fatalf("BEAR and iterative disagree at %d", i)
+		}
+	}
+	// TopK surfaces the seed first on this graph.
+	if top := bear.TopK(scores, 1); top[0] != 5 {
+		t.Fatalf("TopK[0] = %d, want the seed", top[0])
+	}
+}
+
+func TestPublicSaveLoad(t *testing.T) {
+	g := bear.GenerateRMATPul(200, 1000, 0.7, 2)
+	p, err := bear.Preprocess(g, bear.Options{DropTol: 1e-5})
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	p2, err := bear.LoadPrecomputed(&buf)
+	if err != nil {
+		t.Fatalf("LoadPrecomputed: %v", err)
+	}
+	a, _ := p.Query(3)
+	b, _ := p2.Query(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("roundtrip changed scores")
+		}
+	}
+}
+
+func TestLoadEdgeListPublic(t *testing.T) {
+	g, err := bear.LoadEdgeList(strings.NewReader("0 1\n1 2\n2 0\n"))
+	if err != nil {
+		t.Fatalf("LoadEdgeList: %v", err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestRingSymmetry(t *testing.T) {
+	// On a symmetric ring, scores are symmetric around the seed.
+	n := 24
+	g := buildRing(n)
+	p, err := bear.Preprocess(g, bear.Options{K: 2})
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	r, err := p.Query(0)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	for d := 1; d < n/2; d++ {
+		if math.Abs(r[d]-r[n-d]) > 1e-10 {
+			t.Fatalf("ring asymmetry at distance %d: %g vs %g", d, r[d], r[n-d])
+		}
+	}
+	// Scores decay with distance from the seed.
+	if !(r[0] > r[1] && r[1] > r[2] && r[2] > r[3]) {
+		t.Fatalf("scores do not decay along the ring: %v", r[:4])
+	}
+}
+
+func TestGeneratorsExposed(t *testing.T) {
+	if g := bear.GenerateErdosRenyi(50, 100, 3); g.N() != 50 {
+		t.Fatal("ER generator")
+	}
+	if g := bear.GenerateBipartite(10, 20, 30, 4); g.N() != 30 {
+		t.Fatal("bipartite generator")
+	}
+	if g := bear.GenerateCavemanHubs(bear.CavemanHubsConfig{Communities: 3, Size: 5, PIntra: 0.5, Hubs: 2, HubDeg: 3, Seed: 5}); g.N() != 17 {
+		t.Fatal("caveman generator")
+	}
+	if g := bear.GenerateStarMail(bear.StarMailConfig{Core: 3, Periphery: 10, LeafDeg: 1, PCore: 1, Seed: 6}); g.N() != 13 {
+		t.Fatal("star generator")
+	}
+	if g := bear.GenerateRMAT(bear.RMATConfig{N: 32, M: 100, A: 0.25, B: 0.25, C: 0.25, D: 0.25, Seed: 7}); g.N() != 32 {
+		t.Fatal("rmat generator")
+	}
+}
+
+// Property: through the public API, BEAR matches the iterative solver on
+// random graphs (Theorem 1, public-surface edition).
+func TestQuickPublicExactness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(60)
+		b := bear.NewGraphBuilder(n)
+		for e := 0; e < 4*n; e++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n), 1)
+		}
+		g := b.Build()
+		p, err := bear.Preprocess(g, bear.Options{K: 2})
+		if err != nil {
+			return false
+		}
+		s := rng.Intn(n)
+		got, err := p.Query(s)
+		if err != nil {
+			return false
+		}
+		q := make([]float64, n)
+		q[s] = 1
+		want, err := bear.SolveIterative(g, p.C, q, 1e-13)
+		if err != nil {
+			return false
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

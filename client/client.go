@@ -1,0 +1,226 @@
+// Package client is the Go client for the bear HTTP query service
+// (package bear/server): upload graphs, run RWR / PPR / PageRank queries,
+// and stream edge updates without linking the solver into the caller.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"bear/server"
+)
+
+// Client talks to one bearserve instance.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, middlewares).
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// New returns a client for the service at baseURL (e.g.
+// "http://localhost:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		http: &http.Client{Timeout: 5 * time.Minute},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response from the service.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("bear service: %s (HTTP %d)", e.Message, e.Status)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out interface{}) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health reports whether the service is reachable and healthy.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// UploadOptions tunes preprocessing of an uploaded graph.
+type UploadOptions struct {
+	// C is the restart probability; zero keeps the server default (0.05).
+	C float64
+	// DropTol is the BEAR-Approx drop tolerance ξ; zero means exact.
+	DropTol float64
+	// Laplacian selects the normalized-graph-Laplacian variant.
+	Laplacian bool
+}
+
+// Upload sends a graph body (edge list or MatrixMarket) to be preprocessed
+// under the given name, replacing any existing graph with that name.
+func (c *Client) Upload(ctx context.Context, name string, graph io.Reader, opts UploadOptions) (server.GraphInfo, error) {
+	q := url.Values{}
+	if opts.C != 0 {
+		q.Set("c", strconv.FormatFloat(opts.C, 'g', -1, 64))
+	}
+	if opts.DropTol != 0 {
+		q.Set("drop", strconv.FormatFloat(opts.DropTol, 'g', -1, 64))
+	}
+	if opts.Laplacian {
+		q.Set("laplacian", "true")
+	}
+	path := "/v1/graphs/" + url.PathEscape(name)
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var info server.GraphInfo
+	err := c.do(ctx, http.MethodPut, path, graph, &info)
+	return info, err
+}
+
+// List returns stats for every registered graph.
+func (c *Client) List(ctx context.Context) ([]server.GraphInfo, error) {
+	var out struct {
+		Graphs []server.GraphInfo `json:"graphs"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/graphs", nil, &out)
+	return out.Graphs, err
+}
+
+// Stats returns stats for one graph.
+func (c *Client) Stats(ctx context.Context, name string) (server.GraphInfo, error) {
+	var info server.GraphInfo
+	err := c.do(ctx, http.MethodGet, "/v1/graphs/"+url.PathEscape(name), nil, &info)
+	return info, err
+}
+
+// Delete removes a graph.
+func (c *Client) Delete(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/graphs/"+url.PathEscape(name), nil, nil)
+}
+
+type queryResponse struct {
+	Results []server.ScoredNode `json:"results"`
+}
+
+// Query returns the top-k RWR results for a single seed.
+func (c *Client) Query(ctx context.Context, name string, seed, top int) ([]server.ScoredNode, error) {
+	path := fmt.Sprintf("/v1/graphs/%s/query?seed=%d&top=%d", url.PathEscape(name), seed, top)
+	var out queryResponse
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out.Results, err
+}
+
+// QueryEffectiveImportance returns top-k effective-importance results.
+func (c *Client) QueryEffectiveImportance(ctx context.Context, name string, seed, top int) ([]server.ScoredNode, error) {
+	path := fmt.Sprintf("/v1/graphs/%s/query?seed=%d&top=%d&ei=1", url.PathEscape(name), seed, top)
+	var out queryResponse
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out.Results, err
+}
+
+// PageRank returns the top-k global PageRank results.
+func (c *Client) PageRank(ctx context.Context, name string, top int) ([]server.ScoredNode, error) {
+	path := fmt.Sprintf("/v1/graphs/%s/pagerank?top=%d", url.PathEscape(name), top)
+	var out queryResponse
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out.Results, err
+}
+
+// PPR returns top-k personalized-PageRank results for a weighted seed set.
+func (c *Client) PPR(ctx context.Context, name string, seeds map[int]float64, top int) ([]server.ScoredNode, error) {
+	body := struct {
+		Seeds map[string]float64 `json:"seeds"`
+		Top   int                `json:"top"`
+	}{Seeds: make(map[string]float64, len(seeds)), Top: top}
+	for node, w := range seeds {
+		body.Seeds[strconv.Itoa(node)] = w
+	}
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	var out queryResponse
+	err = c.do(ctx, http.MethodPost, "/v1/graphs/"+url.PathEscape(name)+"/ppr", bytes.NewReader(buf), &out)
+	return out.Results, err
+}
+
+// UpdateStatus reports the pending-update state after an edge operation.
+type UpdateStatus struct {
+	Pending int  `json:"pending"`
+	Rebuilt bool `json:"rebuilt"`
+}
+
+func (c *Client) edgeOp(ctx context.Context, name string, payload interface{}) (UpdateStatus, error) {
+	buf, err := json.Marshal(payload)
+	if err != nil {
+		return UpdateStatus{}, err
+	}
+	var out UpdateStatus
+	err = c.do(ctx, http.MethodPost, "/v1/graphs/"+url.PathEscape(name)+"/edges", bytes.NewReader(buf), &out)
+	return out, err
+}
+
+// AddEdge adds a directed edge with the given weight (0 means 1).
+func (c *Client) AddEdge(ctx context.Context, name string, u, v int, w float64) (UpdateStatus, error) {
+	return c.edgeOp(ctx, name, map[string]interface{}{"op": "add", "u": u, "v": v, "w": w})
+}
+
+// RemoveEdge removes a directed edge.
+func (c *Client) RemoveEdge(ctx context.Context, name string, u, v int) (UpdateStatus, error) {
+	return c.edgeOp(ctx, name, map[string]interface{}{"op": "remove", "u": u, "v": v})
+}
+
+// ReplaceNode replaces all out-edges of node u.
+func (c *Client) ReplaceNode(ctx context.Context, name string, u int, dst []int, weights []float64) (UpdateStatus, error) {
+	return c.edgeOp(ctx, name, map[string]interface{}{"op": "replace", "u": u, "dst": dst, "weights": weights})
+}
+
+// Rebuild folds pending updates into a fresh preprocessing pass.
+func (c *Client) Rebuild(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodPost, "/v1/graphs/"+url.PathEscape(name)+"/rebuild", nil, nil)
+}

@@ -1,0 +1,158 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"bear"
+	"bear/server"
+)
+
+func newClient(t *testing.T) *Client {
+	t.Helper()
+	s := server.New()
+	s.RebuildThreshold = 2
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return New(ts.URL)
+}
+
+func graphBody(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	g := bear.GenerateCavemanHubs(bear.CavemanHubsConfig{
+		Communities: 5, Size: 10, PIntra: 0.4, Hubs: 2, HubDeg: 8, Seed: 2,
+	})
+	var buf bytes.Buffer
+	if err := g.SaveEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestClientLifecycle(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+
+	info, err := c.Upload(ctx, "g", graphBody(t), UploadOptions{})
+	if err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	if info.Name != "g" || info.Nodes == 0 {
+		t.Fatalf("Upload info: %+v", info)
+	}
+
+	list, err := c.List(ctx)
+	if err != nil || len(list) != 1 {
+		t.Fatalf("List: %v %v", list, err)
+	}
+
+	stats, err := c.Stats(ctx, "g")
+	if err != nil || stats.Hubs == 0 {
+		t.Fatalf("Stats: %+v %v", stats, err)
+	}
+
+	results, err := c.Query(ctx, "g", 3, 5)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(results) != 5 || results[0].Node != 3 {
+		t.Fatalf("Query results: %v", results)
+	}
+
+	ei, err := c.QueryEffectiveImportance(ctx, "g", 3, 4)
+	if err != nil || len(ei) != 4 {
+		t.Fatalf("EI: %v %v", ei, err)
+	}
+
+	pr, err := c.PageRank(ctx, "g", 3)
+	if err != nil || len(pr) != 3 {
+		t.Fatalf("PageRank: %v %v", pr, err)
+	}
+
+	ppr, err := c.PPR(ctx, "g", map[int]float64{1: 0.5, 20: 0.5}, 4)
+	if err != nil || len(ppr) != 4 {
+		t.Fatalf("PPR: %v %v", ppr, err)
+	}
+
+	if err := c.Delete(ctx, "g"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := c.Stats(ctx, "g"); err == nil {
+		t.Fatal("expected not-found after delete")
+	}
+}
+
+func TestClientUpdates(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+	if _, err := c.Upload(ctx, "g", graphBody(t), UploadOptions{}); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+
+	st, err := c.AddEdge(ctx, "g", 0, 40, 1)
+	if err != nil || st.Pending != 1 {
+		t.Fatalf("AddEdge: %+v %v", st, err)
+	}
+	st, err = c.ReplaceNode(ctx, "g", 7, []int{1, 2}, []float64{1, 1})
+	if err != nil {
+		t.Fatalf("ReplaceNode: %v", err)
+	}
+	if !st.Rebuilt || st.Pending != 0 {
+		t.Fatalf("expected threshold rebuild: %+v", st)
+	}
+	if _, err := c.RemoveEdge(ctx, "g", 7, 1); err != nil {
+		t.Fatalf("RemoveEdge: %v", err)
+	}
+	if err := c.Rebuild(ctx, "g"); err != nil {
+		t.Fatalf("Rebuild: %v", err)
+	}
+	stats, err := c.Stats(ctx, "g")
+	if err != nil || stats.Pending != 0 {
+		t.Fatalf("Stats after rebuild: %+v %v", stats, err)
+	}
+}
+
+func TestClientUploadOptions(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+	info, err := c.Upload(ctx, "approx", graphBody(t), UploadOptions{C: 0.2, DropTol: 0.001})
+	if err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	if info.RestartC != 0.2 || info.DropTol != 0.001 {
+		t.Fatalf("options not applied: %+v", info)
+	}
+	if _, err := c.Upload(ctx, "lap", graphBody(t), UploadOptions{Laplacian: true}); err != nil {
+		t.Fatalf("laplacian upload: %v", err)
+	}
+}
+
+func TestClientAPIErrors(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+	_, err := c.Query(ctx, "missing", 0, 1)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Fatalf("expected 404 APIError, got %v", err)
+	}
+	if apiErr.Error() == "" {
+		t.Fatal("empty error text")
+	}
+	if _, err := c.Upload(ctx, "bad", bytes.NewBufferString("garbage input"), UploadOptions{}); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestClientUnreachable(t *testing.T) {
+	c := New("http://127.0.0.1:1") // nothing listens here
+	if err := c.Health(context.Background()); err == nil {
+		t.Fatal("expected connection error")
+	}
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bear"
+)
+
+// writeTestGraph saves a small deterministic graph and returns its path.
+func writeTestGraph(t *testing.T) string {
+	t.Helper()
+	g := bear.GenerateRMATPul(128, 600, 0.7, 9)
+	path := filepath.Join(t.TempDir(), "g.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := g.SaveEdgeList(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func preprocessTestIndex(t *testing.T) string {
+	t.Helper()
+	graphPath := writeTestGraph(t)
+	idx := filepath.Join(t.TempDir(), "g.bear")
+	if err := cmdPreprocess([]string{"-graph", graphPath, "-out", idx}); err != nil {
+		t.Fatalf("cmdPreprocess: %v", err)
+	}
+	return idx
+}
+
+func TestCmdPreprocessAndQuery(t *testing.T) {
+	idx := preprocessTestIndex(t)
+	if err := cmdQuery([]string{"-index", idx, "-seed", "3", "-top", "5"}); err != nil {
+		t.Fatalf("cmdQuery: %v", err)
+	}
+	if err := cmdQuery([]string{"-index", idx, "-seed", "3", "-ei"}); err != nil {
+		t.Fatalf("cmdQuery -ei: %v", err)
+	}
+}
+
+func TestCmdPPR(t *testing.T) {
+	idx := preprocessTestIndex(t)
+	if err := cmdPPR([]string{"-index", idx, "-seeds", "1, 2,3", "-top", "5"}); err != nil {
+		t.Fatalf("cmdPPR: %v", err)
+	}
+	if err := cmdPPR([]string{"-index", idx, "-seeds", "bogus"}); err == nil {
+		t.Fatal("expected bad-seed error")
+	}
+	if err := cmdPPR([]string{"-index", idx, "-seeds", "99999"}); err == nil {
+		t.Fatal("expected out-of-range seed error")
+	}
+}
+
+func TestCmdStats(t *testing.T) {
+	idx := preprocessTestIndex(t)
+	if err := cmdStats([]string{"-index", idx}); err != nil {
+		t.Fatalf("cmdStats: %v", err)
+	}
+}
+
+func TestCmdErrors(t *testing.T) {
+	if err := cmdPreprocess([]string{}); err == nil {
+		t.Fatal("expected missing-flags error")
+	}
+	if err := cmdPreprocess([]string{"-graph", "/nonexistent", "-out", "x"}); err == nil {
+		t.Fatal("expected open error")
+	}
+	if err := cmdQuery([]string{"-index", "/nonexistent", "-seed", "0"}); err == nil {
+		t.Fatal("expected load error")
+	}
+	if err := cmdQuery([]string{}); err == nil {
+		t.Fatal("expected missing-flags error")
+	}
+	if err := cmdStats([]string{}); err == nil {
+		t.Fatal("expected missing-flags error")
+	}
+	if err := cmdPPR([]string{}); err == nil {
+		t.Fatal("expected missing-flags error")
+	}
+}
+
+func TestCmdPreprocessApproxAndVariants(t *testing.T) {
+	graphPath := writeTestGraph(t)
+	dir := t.TempDir()
+	for _, args := range [][]string{
+		{"-graph", graphPath, "-out", filepath.Join(dir, "a.bear"), "-drop", "0.001"},
+		{"-graph", graphPath, "-out", filepath.Join(dir, "b.bear"), "-c", "0.15", "-k", "4"},
+		{"-graph", graphPath, "-out", filepath.Join(dir, "c.bear"), "-laplacian"},
+	} {
+		if err := cmdPreprocess(args); err != nil {
+			t.Fatalf("cmdPreprocess %v: %v", args, err)
+		}
+	}
+}
+
+func TestCmdPreprocessMatrixMarket(t *testing.T) {
+	g := bear.GenerateRMATPul(64, 300, 0.7, 10)
+	path := filepath.Join(t.TempDir(), "g.mtx")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := g.SaveMatrixMarket(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(buf.String()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	idx := filepath.Join(t.TempDir(), "g.bear")
+	if err := cmdPreprocess([]string{"-graph", path, "-out", idx}); err != nil {
+		t.Fatalf("cmdPreprocess on MatrixMarket input: %v", err)
+	}
+	if err := cmdQuery([]string{"-index", idx, "-seed", "0", "-top", "3"}); err != nil {
+		t.Fatalf("cmdQuery: %v", err)
+	}
+}
+
+func TestCmdVerify(t *testing.T) {
+	graphPath := writeTestGraph(t)
+	idx := filepath.Join(t.TempDir(), "g.bear")
+	if err := cmdPreprocess([]string{"-graph", graphPath, "-out", idx}); err != nil {
+		t.Fatalf("cmdPreprocess: %v", err)
+	}
+	// Exact index verifies against its own graph.
+	if err := cmdVerify([]string{"-index", idx, "-graph", graphPath, "-seeds", "3"}); err != nil {
+		t.Fatalf("cmdVerify: %v", err)
+	}
+	// A different graph fails verification.
+	other := filepath.Join(t.TempDir(), "other.txt")
+	g2 := bear.GenerateRMATPul(128, 600, 0.7, 99)
+	f, err := os.Create(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.SaveEdgeList(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := cmdVerify([]string{"-index", idx, "-graph", other, "-seeds", "3"}); err == nil {
+		t.Fatal("expected verification failure on mismatched graph")
+	}
+	// A coarsely approximate index fails a tight tolerance.
+	approx := filepath.Join(t.TempDir(), "a.bear")
+	if err := cmdPreprocess([]string{"-graph", graphPath, "-out", approx, "-drop", "0.05"}); err != nil {
+		t.Fatalf("cmdPreprocess approx: %v", err)
+	}
+	if err := cmdVerify([]string{"-index", approx, "-graph", graphPath, "-seeds", "3", "-tol", "1e-10"}); err == nil {
+		t.Fatal("expected verification failure on approximate index")
+	}
+	// Missing flags.
+	if err := cmdVerify([]string{}); err == nil {
+		t.Fatal("expected missing-flags error")
+	}
+}

@@ -1,0 +1,117 @@
+// Command bearbench regenerates the tables and figures of the paper's
+// evaluation section on synthetic dataset analogues.
+//
+// Usage:
+//
+//	bearbench -exp all                 # every experiment
+//	bearbench -exp fig1b -scale 2      # one experiment at twice the size
+//	bearbench -exp table4 -csv out/    # also write CSV files
+//	bearbench -list                    # show available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bear/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "bearbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bearbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp    = fs.String("exp", "all", "experiment id or 'all'")
+		scale  = fs.Float64("scale", 1, "dataset size multiplier")
+		budget = fs.Int64("budget", 0, "memory budget in bytes (default 128 MiB)")
+		seeds  = fs.Int("seeds", 0, "query seeds per timing measurement (default 20)")
+		seed   = fs.Int64("seed", 0, "random seed (default 42)")
+		csvDir = fs.String("csv", "", "directory for CSV output (optional)")
+		bars   = fs.Bool("bars", false, "also draw log-scale bar charts like the paper's figures")
+		list   = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Paper)
+		}
+		return nil
+	}
+
+	cfg := bench.Config{Scale: *scale, Budget: *budget, QuerySeeds: *seeds, Seed: *seed}
+	var exps []bench.Experiment
+	if *exp == "all" {
+		exps = bench.Experiments()
+	} else {
+		e, err := bench.ExperimentByID(*exp)
+		if err != nil {
+			return err
+		}
+		exps = []bench.Experiment{e}
+	}
+
+	// Stream each experiment's tables as they complete: full-scale runs
+	// take minutes and intermediate results are worth seeing early.
+	for _, e := range exps {
+		tables, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		for _, t := range tables {
+			if err := t.Render(stdout); err != nil {
+				return err
+			}
+			if *bars {
+				if col := t.BarColumn(); col >= 0 {
+					if err := t.RenderBars(stdout, col, 40); err != nil {
+						return err
+					}
+				}
+			}
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, t); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSV(dir string, t *bench.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '_'
+		}
+	}, t.Title)
+	if len(name) > 60 {
+		name = name[:60]
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errBuf); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	for _, want := range []string{"table4", "fig1b", "fig7", "ablation"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("listing missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunSingleExperimentWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-exp", "fig7", "-scale", "0.05", "-seeds", "2", "-csv", dir}, &out, &errBuf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "Fig 7") {
+		t.Fatalf("missing rendered table:\n%s", out.String())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || filepath.Ext(entries[0].Name()) != ".csv" {
+		t.Fatalf("expected one CSV file, got %v", entries)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-exp", "fig99"}, &out, &errBuf); err == nil {
+		t.Fatal("expected unknown-experiment error")
+	}
+	if err := run([]string{"-badflag"}, &out, &errBuf); err == nil {
+		t.Fatal("expected flag error")
+	}
+}

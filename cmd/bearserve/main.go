@@ -1,0 +1,79 @@
+// Command bearserve runs the BEAR HTTP query service.
+//
+// Usage:
+//
+//	bearserve -addr :8080 -graph social=edges.txt -graph web=crawl.mtx
+//
+// Graphs named on the command line are preprocessed at startup; more can
+// be uploaded at runtime with PUT /v1/graphs/{name}. See package
+// bear/server for the API.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"bear"
+	"bear/server"
+)
+
+// graphFlags collects repeated -graph name=path arguments.
+type graphFlags []string
+
+func (g *graphFlags) String() string { return strings.Join(*g, ",") }
+
+func (g *graphFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*g = append(*g, v)
+	return nil
+}
+
+func main() {
+	var graphs graphFlags
+	addr := flag.String("addr", ":8080", "listen address")
+	c := flag.Float64("c", 0, "restart probability (default 0.05)")
+	drop := flag.Float64("drop", 0, "drop tolerance ξ (0 = BEAR-Exact)")
+	rebuild := flag.Int("rebuild-threshold", 64, "auto-rebuild after this many updated nodes (0 = never)")
+	flag.Var(&graphs, "graph", "name=path of a graph to preprocess at startup (repeatable)")
+	flag.Parse()
+
+	s := server.New()
+	s.RebuildThreshold = *rebuild
+	opts := bear.Options{C: *c, DropTol: *drop}
+	for _, spec := range graphs {
+		name, path, _ := strings.Cut(spec, "=")
+		if err := loadInto(s, name, path, opts); err != nil {
+			log.Fatalf("bearserve: loading %s: %v", spec, err)
+		}
+		log.Printf("preprocessed %s from %s", name, path)
+	}
+
+	log.Printf("bearserve listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
+		log.Fatalf("bearserve: %v", err)
+	}
+}
+
+func loadInto(s *server.Server, name, path string, opts bear.Options) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var g *bear.Graph
+	if strings.HasSuffix(path, ".mtx") {
+		g, err = bear.LoadMatrixMarket(f)
+	} else {
+		g, err = bear.LoadEdgeList(f)
+	}
+	if err != nil {
+		return err
+	}
+	return s.Add(name, g, opts)
+}

@@ -1,0 +1,92 @@
+// Command graphgen writes synthetic graphs as edge lists. It exposes the
+// generators used by the experiment harness so datasets can be materialized
+// on disk and fed to cmd/bear.
+//
+// Usage:
+//
+//	graphgen -type rmat -n 10000 -m 50000 -pul 0.7 -seed 1 -o graph.txt
+//	graphgen -type ba -n 10000 -k 2 -o routing.txt
+//	graphgen -type caveman -communities 100 -size 25 -hubs 30 -o coauthor.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bear"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("graphgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		typ         = fs.String("type", "rmat", "generator: rmat, ba, er, caveman, star, bipartite")
+		n           = fs.Int("n", 10000, "number of nodes (rmat, ba, er)")
+		m           = fs.Int("m", 50000, "number of edges (rmat, er, bipartite)")
+		pul         = fs.Float64("pul", 0.7, "R-MAT upper-left probability")
+		k           = fs.Int("k", 2, "edges per new node (ba)")
+		communities = fs.Int("communities", 100, "number of communities (caveman)")
+		size        = fs.Int("size", 25, "community size (caveman)")
+		pintra      = fs.Float64("pintra", 0.25, "within-community edge probability (caveman)")
+		hubs        = fs.Int("hubs", 30, "hub count (caveman)")
+		hubdeg      = fs.Int("hubdeg", 30, "hub degree (caveman)")
+		core        = fs.Int("core", 50, "core size (star)")
+		periphery   = fs.Int("periphery", 5000, "periphery size (star)")
+		leafdeg     = fs.Int("leafdeg", 2, "leaf degree (star)")
+		pcore       = fs.Float64("pcore", 0.3, "core-core edge probability (star)")
+		left        = fs.Int("left", 1000, "left side size (bipartite)")
+		right       = fs.Int("right", 1000, "right side size (bipartite)")
+		seed        = fs.Int64("seed", 1, "random seed")
+		out         = fs.String("o", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var g *bear.Graph
+	switch *typ {
+	case "rmat":
+		g = bear.GenerateRMATPul(*n, *m, *pul, *seed)
+	case "ba":
+		g = bear.GenerateBarabasiAlbert(*n, *k, *seed)
+	case "er":
+		g = bear.GenerateErdosRenyi(*n, *m, *seed)
+	case "caveman":
+		g = bear.GenerateCavemanHubs(bear.CavemanHubsConfig{
+			Communities: *communities, Size: *size, PIntra: *pintra,
+			Hubs: *hubs, HubDeg: *hubdeg, Seed: *seed,
+		})
+	case "star":
+		g = bear.GenerateStarMail(bear.StarMailConfig{
+			Core: *core, Periphery: *periphery, LeafDeg: *leafdeg, PCore: *pcore, Seed: *seed,
+		})
+	case "bipartite":
+		g = bear.GenerateBipartite(*left, *right, *m, *seed)
+	default:
+		return fmt.Errorf("unknown type %q", *typ)
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := g.SaveEdgeList(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "graphgen: wrote %d nodes, %d edges\n", g.N(), g.M())
+	return nil
+}

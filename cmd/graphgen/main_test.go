@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bear"
+)
+
+func TestRunGeneratorsToStdout(t *testing.T) {
+	cases := [][]string{
+		{"-type", "rmat", "-n", "64", "-m", "200"},
+		{"-type", "ba", "-n", "64", "-k", "2"},
+		{"-type", "er", "-n", "64", "-m", "200"},
+		{"-type", "caveman", "-communities", "4", "-size", "8", "-hubs", "2"},
+		{"-type", "star", "-core", "4", "-periphery", "30"},
+		{"-type", "bipartite", "-left", "10", "-right", "10", "-m", "40"},
+	}
+	for _, args := range cases {
+		var out, errBuf bytes.Buffer
+		if err := run(args, &out, &errBuf); err != nil {
+			t.Fatalf("run %v: %v", args, err)
+		}
+		g, err := bear.LoadEdgeList(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("run %v: output not loadable: %v", args, err)
+		}
+		if g.M() == 0 {
+			t.Fatalf("run %v: produced no edges", args)
+		}
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-type", "er", "-n", "32", "-m", "64", "-o", path}, &out, &errBuf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.Len() != 0 {
+		t.Fatal("wrote to stdout despite -o")
+	}
+	if !strings.Contains(errBuf.String(), "wrote") {
+		t.Fatalf("missing summary on stderr: %q", errBuf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-type", "nope"}, &out, &errBuf); err == nil {
+		t.Fatal("expected unknown-type error")
+	}
+	if err := run([]string{"-badflag"}, &out, &errBuf); err == nil {
+		t.Fatal("expected flag error")
+	}
+	if err := run([]string{"-type", "er", "-o", "/nonexistent-dir/x.txt"}, &out, &errBuf); err == nil {
+		t.Fatal("expected create error")
+	}
+}
+
+func TestRunDeterministicSeed(t *testing.T) {
+	var a, b, errBuf bytes.Buffer
+	if err := run([]string{"-type", "rmat", "-n", "64", "-m", "200", "-seed", "9"}, &a, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-type", "rmat", "-n", "64", "-m", "200", "-seed", "9"}, &b, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different output")
+	}
+}

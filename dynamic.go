@@ -1,0 +1,19 @@
+package bear
+
+import (
+	"bear/internal/core"
+)
+
+// Dynamic wraps a preprocessed graph for incremental edge updates — the
+// paper's stated future-work direction. Changing the out-edges of k nodes
+// since the last preprocessing is a rank-k modification of the system
+// matrix, and queries stay exact through a Sherman–Morrison–Woodbury
+// correction on top of the block-elimination solver: each query costs
+// O(k+1) BEAR solves. Call Rebuild to fold accumulated changes into a
+// fresh preprocessing pass once k grows.
+type Dynamic = core.Dynamic
+
+// NewDynamic preprocesses g and wraps it for incremental updates.
+func NewDynamic(g *Graph, opts Options) (*Dynamic, error) {
+	return core.NewDynamic(g, opts)
+}

@@ -1,0 +1,83 @@
+// Service: run the BEAR HTTP service in-process and drive it with the Go
+// client — upload a graph, query it, stream edge updates, and watch the
+// automatic rebuild keep queries exact.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"bear"
+	"bear/client"
+	"bear/server"
+)
+
+func main() {
+	// An in-process server; in production this is `bearserve -addr :8080`.
+	srv := server.New()
+	srv.RebuildThreshold = 5
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	// Upload a follower-style graph.
+	g := bear.GenerateBarabasiAlbert(3000, 2, 42)
+	var buf bytes.Buffer
+	if err := g.SaveEdgeList(&buf); err != nil {
+		log.Fatal(err)
+	}
+	info, err := c.Upload(ctx, "followers", &buf, client.UploadOptions{})
+	if err != nil {
+		log.Fatalf("upload: %v", err)
+	}
+	fmt.Printf("uploaded %q: %d nodes, %d edges, %d hubs, %d precomputed nonzeros\n",
+		info.Name, info.Nodes, info.Edges, info.Hubs, info.NNZ)
+
+	// Who is most relevant to user 42?
+	results, err := c.Query(ctx, "followers", 42, 5)
+	if err != nil {
+		log.Fatalf("query: %v", err)
+	}
+	fmt.Println("\ntop recommendations for user 42:")
+	for i, r := range results {
+		fmt.Printf("  %d. user %d (%.6f)\n", i+1, r.Node, r.Score)
+	}
+
+	// Follow events stream in; queries stay exact between rebuilds.
+	fmt.Println("\nstreaming 8 follow events:")
+	for i := 0; i < 8; i++ {
+		st, err := c.AddEdge(ctx, "followers", 42, 100+i*37, 1)
+		if err != nil {
+			log.Fatalf("add edge: %v", err)
+		}
+		if st.Rebuilt {
+			fmt.Printf("  event %d: index rebuilt automatically\n", i+1)
+		} else {
+			fmt.Printf("  event %d: %d pending nodes\n", i+1, st.Pending)
+		}
+	}
+
+	// The new follows shape the recommendations immediately.
+	results, err = c.Query(ctx, "followers", 42, 5)
+	if err != nil {
+		log.Fatalf("query after updates: %v", err)
+	}
+	fmt.Println("\nupdated recommendations for user 42:")
+	for i, r := range results {
+		fmt.Printf("  %d. user %d (%.6f)\n", i+1, r.Node, r.Score)
+	}
+
+	// Global PageRank over the same index.
+	pr, err := c.PageRank(ctx, "followers", 3)
+	if err != nil {
+		log.Fatalf("pagerank: %v", err)
+	}
+	fmt.Println("\nglobal PageRank top 3:")
+	for i, r := range pr {
+		fmt.Printf("  %d. user %d (%.6f)\n", i+1, r.Node, r.Score)
+	}
+}

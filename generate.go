@@ -1,0 +1,49 @@
+package bear
+
+import (
+	"bear/internal/graph/gen"
+)
+
+// RMATConfig parameterizes the R-MAT recursive graph generator.
+type RMATConfig = gen.RMATConfig
+
+// CavemanHubsConfig parameterizes the community-with-hubs generator.
+type CavemanHubsConfig = gen.CavemanHubsConfig
+
+// StarMailConfig parameterizes the star-heavy (email-like) generator.
+type StarMailConfig = gen.StarMailConfig
+
+// GenerateRMAT samples an R-MAT graph (Chakrabarti et al.), the generator
+// the paper uses for its synthetic experiments.
+func GenerateRMAT(cfg RMATConfig) *Graph { return gen.RMAT(cfg) }
+
+// GenerateRMATPul samples an R-MAT graph with upper-left probability pul
+// and the remainder split evenly, the parameterization of the paper's
+// Figure 7 structure sweep.
+func GenerateRMATPul(n, m int, pul float64, seed int64) *Graph {
+	return gen.RMAT(gen.NewRMATPul(n, m, pul, seed))
+}
+
+// GenerateBarabasiAlbert grows a preferential-attachment graph: n nodes,
+// k undirected edges per new node.
+func GenerateBarabasiAlbert(n, k int, seed int64) *Graph {
+	return gen.BarabasiAlbert(n, k, seed)
+}
+
+// GenerateErdosRenyi samples a uniform random graph with n nodes and m
+// distinct directed edges.
+func GenerateErdosRenyi(n, m int, seed int64) *Graph { return gen.ErdosRenyi(n, m, seed) }
+
+// GenerateCavemanHubs generates dense communities connected by global hub
+// nodes, a co-authorship-like structure.
+func GenerateCavemanHubs(cfg CavemanHubsConfig) *Graph { return gen.CavemanHubs(cfg) }
+
+// GenerateStarMail generates a small high-degree core with a large
+// low-degree periphery, an email-like structure.
+func GenerateStarMail(cfg StarMailConfig) *Graph { return gen.StarMail(cfg) }
+
+// GenerateBipartite samples a random bipartite graph: left nodes occupy
+// ids [0, left), right nodes [left, left+right), with m undirected edges.
+func GenerateBipartite(left, right, m int, seed int64) *Graph {
+	return gen.Bipartite(left, right, m, seed)
+}

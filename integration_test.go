@@ -1,0 +1,138 @@
+package bear_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bear"
+	"bear/analysis"
+)
+
+// TestFullPipeline exercises the complete user journey across modules:
+// generate a graph, persist it as an edge list, reload it, preprocess with
+// BEAR, persist the index, reload the index, query, and run an analysis —
+// checking exactness against the iterative solver at the end.
+func TestFullPipeline(t *testing.T) {
+	dir := t.TempDir()
+
+	// 1. Generate and persist a graph.
+	g := bear.GenerateCavemanHubs(bear.CavemanHubsConfig{
+		Communities: 10, Size: 20, PIntra: 0.3, Hubs: 6, HubDeg: 20, Seed: 3,
+	})
+	graphPath := filepath.Join(dir, "graph.txt")
+	f, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SaveEdgeList(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// 2. Reload it.
+	f, err = os.Open(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := bear.LoadEdgeList(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("LoadEdgeList: %v", err)
+	}
+	if loaded.N() != g.N() || loaded.M() != g.M() {
+		t.Fatalf("reload changed graph: %d/%d vs %d/%d", loaded.N(), loaded.M(), g.N(), g.M())
+	}
+
+	// 3. Preprocess and persist the index.
+	p, err := bear.Preprocess(loaded, bear.Options{})
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	idxPath := filepath.Join(dir, "graph.bear")
+	f, err = os.Create(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Save(f); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	f.Close()
+
+	// 4. Reload the index and query.
+	f, err = os.Open(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := bear.LoadPrecomputed(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("LoadPrecomputed: %v", err)
+	}
+	const seed = 5
+	scores, err := p2.Query(seed)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+
+	// 5. Exactness against the iterative method.
+	q := make([]float64, loaded.N())
+	q[seed] = 1
+	ref, err := bear.SolveIterative(loaded, p2.C, q, 1e-12)
+	if err != nil {
+		t.Fatalf("SolveIterative: %v", err)
+	}
+	for i := range ref {
+		if math.Abs(ref[i]-scores[i]) > 1e-9 {
+			t.Fatalf("pipeline scores diverge at node %d", i)
+		}
+	}
+
+	// 6. Downstream analysis finds the seed's planted cave.
+	community, phi := analysis.SweepCut(loaded, scores)
+	if len(community) != 20 {
+		t.Fatalf("sweep cut found %d nodes, want the 20-node cave", len(community))
+	}
+	for _, u := range community {
+		if u/20 != seed/20 {
+			t.Fatalf("community includes node %d outside the seed's cave", u)
+		}
+	}
+	if phi > 0.2 {
+		t.Fatalf("conductance %g too high", phi)
+	}
+}
+
+// TestPipelineDynamicContinuation extends the pipeline with incremental
+// updates: loading a saved index cannot resume a Dynamic session (the graph
+// is not stored in the index), so a new Dynamic must reproduce the same
+// answers and then absorb updates.
+func TestPipelineDynamicContinuation(t *testing.T) {
+	g := bear.GenerateRMATPul(200, 1200, 0.7, 4)
+	d, err := bear.NewDynamic(g, bear.Options{})
+	if err != nil {
+		t.Fatalf("NewDynamic: %v", err)
+	}
+	if err := d.AddEdge(0, 150, 1); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	got, err := d.Query(0)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	// Fresh preprocess over the updated graph agrees.
+	p, err := bear.Preprocess(d.Graph(), bear.Options{})
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	want, err := p.Query(0)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("dynamic pipeline diverges at node %d", i)
+		}
+	}
+}

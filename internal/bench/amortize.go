@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"bear/internal/rwr"
+)
+
+// RunAmortize quantifies the paper's total-cost claim (Section 4.3):
+// "although BEAR-EXACT requires a preprocessing step which is not needed by
+// the iterative method, for real world applications where RWR scores for
+// many query nodes are required, BEAR-EXACT outperforms the iterative
+// method in terms of total running time." For each dataset it reports both
+// methods' preprocessing and per-query time and the break-even query count
+// Q* = ceil(prep_BEAR / (query_iter − query_BEAR)).
+func RunAmortize(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title:   "Amortization: BEAR-Exact vs iterative total cost",
+		Note:    "Q* = queries needed for BEAR's one-time preprocessing to pay for itself",
+		Headers: []string{"dataset", "bear prep", "bear query", "iter query", "Q*"},
+	}
+	for _, d := range Datasets() {
+		g := d.Make(cfg.Scale)
+		seeds := make([]int, cfg.QuerySeeds)
+		for i := range seeds {
+			seeds[i] = (i * 101) % g.N()
+		}
+
+		start := time.Now()
+		bearSol, err := BearMethod{}.Preprocess(g, cfg.rwrOptions())
+		if err != nil {
+			return nil, fmt.Errorf("amortize %s: %w", d.Name, err)
+		}
+		prep := time.Since(start)
+		bearQ, _, err := QueryTiming(bearSol, g.N(), seeds)
+		if err != nil {
+			return nil, err
+		}
+
+		iterSol, err := rwr.Iterative{}.Preprocess(g, cfg.rwrOptions())
+		if err != nil {
+			return nil, err
+		}
+		iterQ, _, err := QueryTiming(iterSol, g.N(), seeds)
+		if err != nil {
+			return nil, err
+		}
+
+		breakEven := "never"
+		if iterQ > bearQ {
+			breakEven = fmt.Sprintf("%d", int(math.Ceil(float64(prep)/float64(iterQ-bearQ))))
+		}
+		t.AddRow(d.Name, prep, bearQ, iterQ, breakEven)
+	}
+	return []*Table{t}, nil
+}

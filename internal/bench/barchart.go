@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// RenderBars draws the table as a log-scale horizontal bar chart, the
+// visual form of the paper's Figures 1, 5, and 12: one bar per row, labeled
+// with the leading columns, sized by the value in column valueCol. OOM
+// cells render as the paper's omitted bars (an "OOM" marker, no bar).
+// Values spanning orders of magnitude stay readable because bars are
+// scaled by log10 over the observed range.
+func (t *Table) RenderBars(w io.Writer, valueCol int, width int) error {
+	if valueCol < 0 || valueCol >= len(t.Headers) {
+		return fmt.Errorf("bench: bar column %d out of %d", valueCol, len(t.Headers))
+	}
+	if width <= 0 {
+		width = 40
+	}
+	type bar struct {
+		label string
+		text  string
+		value float64
+		oom   bool
+	}
+	// Label each bar with the leading non-numeric columns only (dataset,
+	// method, parameter), skipping measured columns.
+	labelCols := make([]int, 0, valueCol)
+	for col := 0; col < valueCol; col++ {
+		numeric := true
+		for _, row := range t.Rows {
+			if col >= len(row) || row[col] == oomCell || row[col] == "-" {
+				continue
+			}
+			if _, err := parseCell(row[col]); err != nil {
+				numeric = false
+				break
+			}
+		}
+		if !numeric {
+			labelCols = append(labelCols, col)
+		}
+	}
+	if len(labelCols) == 0 && valueCol > 0 {
+		labelCols = []int{0}
+	}
+	bars := make([]bar, 0, len(t.Rows))
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, row := range t.Rows {
+		labelParts := make([]string, 0, len(labelCols))
+		for _, i := range labelCols {
+			if i < len(row) {
+				labelParts = append(labelParts, row[i])
+			}
+		}
+		b := bar{label: strings.Join(labelParts, "/"), text: row[valueCol]}
+		if row[valueCol] == oomCell {
+			b.oom = true
+		} else {
+			v, err := parseCell(row[valueCol])
+			if err != nil {
+				return fmt.Errorf("bench: column %q row %q: %v", t.Headers[valueCol], row[valueCol], err)
+			}
+			b.value = v
+			if v > 0 {
+				minV = math.Min(minV, v)
+				maxV = math.Max(maxV, v)
+			}
+		}
+		bars = append(bars, b)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s — %s (log scale) ==\n", t.Title, t.Headers[valueCol])
+	labelWidth := 0
+	for _, b := range bars {
+		if len(b.label) > labelWidth {
+			labelWidth = len(b.label)
+		}
+	}
+	logSpan := 1.0
+	if maxV > minV {
+		logSpan = math.Log10(maxV) - math.Log10(minV)
+	}
+	for _, b := range bars {
+		fmt.Fprintf(&sb, "%-*s ", labelWidth, b.label)
+		switch {
+		case b.oom:
+			sb.WriteString("(OOM)")
+		case b.value <= 0:
+			sb.WriteString("|")
+		default:
+			frac := 1.0
+			if maxV > minV {
+				frac = (math.Log10(b.value) - math.Log10(minV)) / logSpan
+			}
+			n := 1 + int(frac*float64(width-1))
+			sb.WriteString(strings.Repeat("█", n))
+		}
+		fmt.Fprintf(&sb, " %s\n", b.text)
+	}
+	sb.WriteByte('\n')
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// parseCell interprets a rendered cell as a number: plain numbers,
+// scientific notation, or the duration strings formatDuration emits.
+func parseCell(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if d, err := time.ParseDuration(s); err == nil {
+		return float64(d), nil
+	}
+	var v float64
+	if _, err := fmt.Sscanf(s, "%g", &v); err != nil {
+		return 0, fmt.Errorf("cannot parse %q as a number or duration", s)
+	}
+	return v, nil
+}
+
+// BarColumn guesses which column to chart: the first column whose cells
+// all parse as numbers/durations (or OOM), searching left to right and
+// skipping obvious label columns. Returns -1 if none qualifies.
+func (t *Table) BarColumn() int {
+	if len(t.Rows) == 0 {
+		return -1
+	}
+	for col := range t.Headers {
+		ok := true
+		numeric := false
+		for _, row := range t.Rows {
+			if col >= len(row) {
+				ok = false
+				break
+			}
+			if row[col] == oomCell || row[col] == "-" {
+				continue
+			}
+			if _, err := parseCell(row[col]); err != nil {
+				ok = false
+				break
+			}
+			numeric = true
+		}
+		// Integer-looking id columns (n, seeds, ...) still parse; prefer
+		// time/size columns by requiring a unit or fractional part in at
+		// least one cell.
+		if ok && numeric && columnLooksMeasured(t, col) {
+			return col
+		}
+	}
+	return -1
+}
+
+func columnLooksMeasured(t *Table, col int) bool {
+	for _, row := range t.Rows {
+		if col >= len(row) {
+			continue
+		}
+		c := row[col]
+		if strings.ContainsAny(c, "µnmse.") && c != oomCell && c != "-" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"bear/internal/graph"
+	"bear/internal/graph/gen"
+)
+
+// Dataset is a reproducible synthetic workload standing in for one of the
+// paper's real datasets (Table 4 / Appendix C). Make builds the graph at a
+// size multiplier; scale 1 targets sizes small enough that the full
+// experiment suite runs in minutes on a laptop while preserving each
+// dataset's structural signature.
+type Dataset struct {
+	Name     string
+	Analogue string // which paper dataset it substitutes, and why it matches
+	Make     func(scale float64) *graph.Graph
+}
+
+func scaled(base int, scale float64) int {
+	n := int(math.Round(float64(base) * scale))
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+// Datasets returns the synthetic substitutes for the paper's real-world
+// graphs, ordered smallest to largest like the paper's figures.
+func Datasets() []Dataset {
+	return []Dataset{
+		{
+			Name:     "routing",
+			Analogue: "Routing (AS-level internet): heavy-tailed hub structure via preferential attachment",
+			Make: func(s float64) *graph.Graph {
+				return gen.BarabasiAlbert(scaled(2000, s), 2, 101)
+			},
+		},
+		{
+			Name:     "coauthor",
+			Analogue: "Co-author: dense communities plus a hub backbone",
+			Make: func(s float64) *graph.Graph {
+				return gen.CavemanHubs(gen.CavemanHubsConfig{
+					Communities: scaled(120, s), Size: 25, PIntra: 0.25,
+					Hubs: scaled(40, s), HubDeg: 30, Seed: 102,
+				})
+			},
+		},
+		{
+			Name:     "email",
+			Analogue: "Email: a small high-degree core with a large one-edge periphery",
+			Make: func(s float64) *graph.Graph {
+				return gen.StarMail(gen.StarMailConfig{
+					Core: scaled(40, s), Periphery: scaled(6000, s), LeafDeg: 2, PCore: 0.3, Seed: 103,
+				})
+			},
+		},
+		{
+			Name:     "trust",
+			Analogue: "Trust (Epinions): skewed power-law with moderate locality (R-MAT 0.6)",
+			Make: func(s float64) *graph.Graph {
+				n := scaled(4000, s)
+				return gen.RMAT(gen.NewRMATPul(n, 6*n, 0.6, 104))
+			},
+		},
+		{
+			Name:     "web",
+			Analogue: "Web-Stan/Web-Notre: strongly local link structure (R-MAT 0.8)",
+			Make: func(s float64) *graph.Graph {
+				n := scaled(6000, s)
+				return gen.RMAT(gen.NewRMATPul(n, 5*n, 0.8, 105))
+			},
+		},
+		{
+			Name:     "talk",
+			Analogue: "Talk (Wikipedia): huge periphery talking to few hubs",
+			Make: func(s float64) *graph.Graph {
+				return gen.StarMail(gen.StarMailConfig{
+					Core: scaled(80, s), Periphery: scaled(12000, s), LeafDeg: 1, PCore: 0.2, Seed: 106,
+				})
+			},
+		},
+	}
+}
+
+// DatasetByName looks a dataset up by name.
+func DatasetByName(name string) (Dataset, error) {
+	for _, d := range Datasets() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("bench: unknown dataset %q", name)
+}
+
+// RMATFamily returns the five R-MAT graphs of the paper's Fig. 7 /
+// Table 4 sweep: equal size, increasing upper-left probability p_ul, hence
+// increasingly strong hub-and-spoke structure.
+func RMATFamily(scale float64) []Dataset {
+	puls := []float64{0.5, 0.6, 0.7, 0.8, 0.9}
+	out := make([]Dataset, 0, len(puls))
+	for _, pul := range puls {
+		pul := pul
+		out = append(out, Dataset{
+			Name:     fmt.Sprintf("rmat-%.1f", pul),
+			Analogue: fmt.Sprintf("R-MAT(p_ul=%.1f) of Table 4", pul),
+			Make: func(s float64) *graph.Graph {
+				n := scaled(4000, s)
+				return gen.RMAT(gen.NewRMATPul(n, 5*n, pul, 107))
+			},
+		})
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation section: synthetic stand-ins for the
+// paper's datasets, a memory budget that reproduces the out-of-memory
+// outcomes, accuracy metrics, and one runner per experiment.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"bear/internal/rwr"
+)
+
+// Cosine returns the cosine similarity between two vectors (the paper's
+// accuracy metric, footnote 4). Zero vectors yield similarity 0.
+func Cosine(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("bench: cosine length mismatch %d vs %d", len(a), len(b)))
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// L2Error returns ‖a − b‖₂ (the paper's error metric, footnote 5).
+func L2Error(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("bench: l2 length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// QueryTiming measures the mean wall-clock query time of a solver over
+// single-seed queries at the given seeds, and returns the results of the
+// final query for accuracy checks.
+func QueryTiming(s rwr.Solver, n int, seeds []int) (mean time.Duration, last []float64, err error) {
+	if len(seeds) == 0 {
+		return 0, nil, fmt.Errorf("bench: no seeds")
+	}
+	q := make([]float64, n)
+	start := time.Now()
+	for _, seed := range seeds {
+		q[seed] = 1
+		last, err = s.Query(q)
+		q[seed] = 0
+		if err != nil {
+			return 0, nil, err
+		}
+	}
+	return time.Since(start) / time.Duration(len(seeds)), last, nil
+}
+
+// RandomSeeds draws k distinct query seeds in [0, n).
+func RandomSeeds(n, k int, rng *rand.Rand) []int {
+	if k > n {
+		k = n
+	}
+	perm := rng.Perm(n)
+	return perm[:k]
+}
+
+// MultiSeedQuery builds a uniform starting distribution over k seeds, the
+// personalized-PageRank workload of Figures 10 and 11.
+func MultiSeedQuery(n int, seeds []int) []float64 {
+	q := make([]float64, n)
+	w := 1 / float64(len(seeds))
+	for _, s := range seeds {
+		q[s] = w
+	}
+	return q
+}

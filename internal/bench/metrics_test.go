@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCosine(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want float64
+	}{
+		{[]float64{1, 0}, []float64{1, 0}, 1},
+		{[]float64{1, 0}, []float64{0, 1}, 0},
+		{[]float64{1, 0}, []float64{-1, 0}, -1},
+		{[]float64{0, 0}, []float64{1, 1}, 0},
+		{[]float64{3, 4}, []float64{6, 8}, 1},
+	}
+	for i, c := range cases {
+		if got := Cosine(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: Cosine = %g, want %g", i, got, c.want)
+		}
+	}
+}
+
+func TestL2Error(t *testing.T) {
+	if got := L2Error([]float64{1, 2}, []float64{1, 2}); got != 0 {
+		t.Fatalf("identical vectors: L2 = %g", got)
+	}
+	if got := L2Error([]float64{0, 3}, []float64{4, 0}); got != 5 {
+		t.Fatalf("L2 = %g, want 5", got)
+	}
+}
+
+func TestMetricsPanicOnLengthMismatch(t *testing.T) {
+	for name, f := range map[string]func(){
+		"cosine": func() { Cosine([]float64{1}, []float64{1, 2}) },
+		"l2":     func() { L2Error([]float64{1}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRandomSeeds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seeds := RandomSeeds(100, 10, rng)
+	if len(seeds) != 10 {
+		t.Fatalf("len = %d", len(seeds))
+	}
+	seen := map[int]bool{}
+	for _, s := range seeds {
+		if s < 0 || s >= 100 || seen[s] {
+			t.Fatalf("bad seed %d", s)
+		}
+		seen[s] = true
+	}
+	if got := RandomSeeds(5, 10, rng); len(got) != 5 {
+		t.Fatalf("clamped seeds len = %d", len(got))
+	}
+}
+
+func TestMultiSeedQuery(t *testing.T) {
+	q := MultiSeedQuery(10, []int{1, 3})
+	var sum float64
+	for _, v := range q {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-15 || q[1] != 0.5 || q[3] != 0.5 {
+		t.Fatalf("MultiSeedQuery wrong: %v", q)
+	}
+}
+
+// Property: cosine similarity is scale invariant and bounded.
+func TestQuickCosine(t *testing.T) {
+	f := func(seed int64, scaleRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i], b[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		c := Cosine(a, b)
+		if c < -1-1e-12 || c > 1+1e-12 {
+			return false
+		}
+		scale := 1 + float64(scaleRaw)
+		scaled := make([]float64, n)
+		for i := range a {
+			scaled[i] = scale * a[i]
+		}
+		return math.Abs(Cosine(scaled, b)-c) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderBars(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Headers: []string{"dataset", "method", "time"},
+		Rows: [][]string{
+			{"a", "fast", "1.00ms"},
+			{"a", "slow", "100.00ms"},
+			{"a", "huge", "OOM"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tab.RenderBars(&buf, 2, 20); err != nil {
+		t.Fatalf("RenderBars: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "(OOM)") {
+		t.Fatalf("missing OOM marker:\n%s", out)
+	}
+	fast := strings.Count(lineContaining(out, "fast"), "█")
+	slow := strings.Count(lineContaining(out, "slow"), "█")
+	if slow <= fast {
+		t.Fatalf("slow bar (%d) not longer than fast bar (%d):\n%s", slow, fast, out)
+	}
+	if err := tab.RenderBars(&buf, 99, 20); err == nil {
+		t.Fatal("expected out-of-range column error")
+	}
+	bad := &Table{Headers: []string{"x"}, Rows: [][]string{{"not-a-number!"}}}
+	if err := bad.RenderBars(&buf, 0, 20); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func lineContaining(s, sub string) string {
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, sub) {
+			return line
+		}
+	}
+	return ""
+}
+
+func TestParseCell(t *testing.T) {
+	cases := map[string]float64{
+		"1.50ms":    1.5e6,
+		"2.00s":     2e9,
+		"42":        42,
+		"3.000e+06": 3e6,
+	}
+	for in, want := range cases {
+		got, err := parseCell(in)
+		if err != nil {
+			t.Fatalf("parseCell(%q): %v", in, err)
+		}
+		if math.Abs(got-want) > 1e-6*want {
+			t.Fatalf("parseCell(%q) = %g, want %g", in, got, want)
+		}
+	}
+	if _, err := parseCell("garbage!"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestBarColumn(t *testing.T) {
+	tab := &Table{
+		Headers: []string{"dataset", "method", "preprocess"},
+		Rows: [][]string{
+			{"a", "x", "1.00ms"},
+			{"b", "y", "OOM"},
+		},
+	}
+	if got := tab.BarColumn(); got != 2 {
+		t.Fatalf("BarColumn = %d, want 2", got)
+	}
+	empty := &Table{Headers: []string{"a"}}
+	if empty.BarColumn() != -1 {
+		t.Fatal("empty table should have no bar column")
+	}
+}

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"time"
+
+	"bear/internal/core"
+	"bear/internal/graph/gen"
+)
+
+// RunScaling measures BEAR-Exact preprocessing time, query time, and space
+// on preferential-attachment graphs of doubling size at fixed density — a
+// supplementary scalability curve in the spirit of the paper's Figure 1.
+// Near-linear growth in every column is the expected shape on
+// hub-and-spoke graphs (Theorems 2–4 with m ≈ O(n), small n₂).
+func RunScaling(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title:   "Scaling: BEAR-Exact cost vs graph size (BA graphs, k=2)",
+		Headers: []string{"n", "m", "n2", "preprocess", "query", "bytes"},
+	}
+	sizes := []int{1000, 2000, 4000, 8000}
+	for _, base := range sizes {
+		n := scaled(base, cfg.Scale)
+		g := gen.BarabasiAlbert(n, 2, 301)
+		start := time.Now()
+		p, err := core.Preprocess(g, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		prep := time.Since(start)
+		s := &bearSolver{p: p}
+		seeds := []int{0, n / 2, n - 1}
+		mean, _, err := QueryTiming(s, n, seeds)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(p.Stats.N, p.Stats.M, p.Stats.N2, prep, mean, s.Bytes())
+	}
+	return []*Table{t}, nil
+}

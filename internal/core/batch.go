@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// QueryBatch computes RWR vectors for many seeds, fanning queries out over
+// workers goroutines (0 selects GOMAXPROCS). Results are indexed like
+// seeds. Precomputed is read-only during queries, so the workers share it
+// without locking.
+func (p *Precomputed) QueryBatch(seeds []int, workers int) ([][]float64, error) {
+	for _, s := range seeds {
+		if s < 0 || s >= p.N {
+			return nil, fmt.Errorf("core: seed %d out of range [0,%d)", s, p.N)
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	out := make([][]float64, len(seeds))
+	if len(seeds) == 0 {
+		return out, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r, err := p.Query(seeds[i])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				out[i] = r
+			}
+		}()
+	}
+	for i := range seeds {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

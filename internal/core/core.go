@@ -1,0 +1,383 @@
+// Package core implements BEAR, the Block Elimination Approach for Random
+// walk with restart (Shin, Sael, Jung, Kang; SIGMOD 2015).
+//
+// The preprocessing phase (Algorithm 1 of the paper) reorders the system
+// matrix H = I − (1−c)Ãᵀ with SlashBurn so that the spoke-spoke block H₁₁
+// is block diagonal, LU-factorizes H₁₁ and inverts the factors, forms the
+// Schur complement S of H₁₁, reorders hubs by degree in S, factorizes S,
+// and optionally drops near-zero entries (BEAR-Approx). The query phase
+// (Algorithm 2) computes the RWR vector for a seed by block elimination
+// using only sparse matrix-vector products against the precomputed
+// matrices.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"bear/internal/dense"
+	"bear/internal/graph"
+	"bear/internal/slashburn"
+	"bear/internal/sparse"
+)
+
+// Default parameter values, matching the paper's experimental settings.
+const (
+	DefaultC                = 0.05  // restart probability (Section 4.1)
+	DefaultHubRatio         = 0.001 // SlashBurn k = 0.001·n (Section 4.1)
+	DefaultDenseSchurCutoff = 4096  // largest n₂ factored densely
+)
+
+// Options configures BEAR preprocessing.
+type Options struct {
+	// C is the restart probability in (0, 1). Zero selects DefaultC.
+	C float64
+	// DropTol is the drop tolerance ξ. Zero keeps every entry
+	// (BEAR-Exact); positive values select BEAR-Approx.
+	DropTol float64
+	// HubRatio sets the SlashBurn wave size k = HubRatio·n when K is zero.
+	// Zero selects DefaultHubRatio.
+	HubRatio float64
+	// K overrides the SlashBurn wave size directly when positive.
+	K int
+	// Laplacian switches the transition matrix from the row-normalized
+	// adjacency Ã to the normalized graph Laplacian D⁻¹ᐟ²AD⁻¹ᐟ²
+	// (Section 3.4, "RWR with normalized graph Laplacian").
+	Laplacian bool
+	// DenseSchurCutoff is the largest hub count n₂ for which the Schur
+	// complement is factored with dense partial-pivoted LU; larger Schur
+	// complements use sparse no-pivot LU. Zero selects the default.
+	DenseSchurCutoff int
+	// NoHubOrder disables line 7 of Algorithm 1 (reordering hubs by their
+	// degree in S before factoring it). Exactness is unaffected; the
+	// factors of S just fill in more. Exposed for the ablation experiment
+	// that quantifies that design choice.
+	NoHubOrder bool
+	// Workers fans the per-block factorization of H₁₁ and the Schur
+	// complement products out over goroutines. The diagonal blocks are
+	// independent (Lemma 1), so results are bit-identical to the
+	// sequential path. Zero or one runs sequentially, matching the
+	// paper's single-threaded measurements; negative selects GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.C == 0 {
+		o.C = DefaultC
+	}
+	if o.HubRatio == 0 {
+		o.HubRatio = DefaultHubRatio
+	}
+	if o.DenseSchurCutoff == 0 {
+		o.DenseSchurCutoff = DefaultDenseSchurCutoff
+	}
+	return o
+}
+
+// Stats records structural and timing measurements from preprocessing; the
+// fields mirror the columns of Table 4 of the paper.
+type Stats struct {
+	N, M           int
+	N1, N2         int
+	NumBlocks      int
+	SumSqBlocks    int64 // Σ n₁ᵢ²
+	SlashBurnIters int
+
+	NNZH      int // |H|
+	NNZH12H21 int // |H₁₂| + |H₂₁|
+	NNZL1U1   int // |L₁⁻¹| + |U₁⁻¹|
+	NNZL2U2   int // |L₂⁻¹| + |U₂⁻¹|
+
+	TimeSlashBurn time.Duration
+	TimeLU1       time.Duration
+	TimeSchur     time.Duration
+	TimeLU2       time.Duration
+	TimeTotal     time.Duration
+}
+
+// Precomputed holds the output of BEAR preprocessing: the six matrices of
+// Algorithm 1 plus the permutations needed to map between graph node ids
+// and BEAR's internal ordering. It is safe for concurrent queries.
+type Precomputed struct {
+	N, N1, N2 int
+	C         float64
+	Blocks    []int
+
+	Perm    []int // Perm[node id] = internal position
+	InvPerm []int // InvPerm[internal position] = node id
+
+	L1Inv *sparse.CSR // n₁×n₁, block diagonal
+	U1Inv *sparse.CSR // n₁×n₁, block diagonal
+	H12   *sparse.CSR // n₁×n₂
+	H21   *sparse.CSR // n₂×n₁
+	L2Inv *sparse.CSR // n₂×n₂
+	U2Inv *sparse.CSR // n₂×n₂
+	SPerm []int       // pivot permutation of S's LU: (Pb)[i] = b[SPerm[i]]
+
+	OutDegree []float64 // weighted out-degree per node, for effective importance
+
+	Stats Stats
+}
+
+// Preprocess runs Algorithm 1 of the paper on g.
+func Preprocess(g *graph.Graph, opts Options) (*Precomputed, error) {
+	opts = opts.withDefaults()
+	if opts.C <= 0 || opts.C >= 1 {
+		return nil, fmt.Errorf("core: restart probability %g outside (0,1)", opts.C)
+	}
+	if opts.DropTol < 0 {
+		return nil, fmt.Errorf("core: negative drop tolerance %g", opts.DropTol)
+	}
+	n := g.N()
+	if n == 0 {
+		return nil, errors.New("core: empty graph")
+	}
+	start := time.Now()
+
+	// Line 1: H = I − (1−c)Ãᵀ (or the Laplacian variant).
+	h := g.HMatrixCSC(opts.C, opts.Laplacian)
+
+	// Lines 2-3: SlashBurn ordering.
+	k := opts.K
+	if k <= 0 {
+		k = int(opts.HubRatio * float64(n))
+		if k < 1 {
+			k = 1
+		}
+	}
+	tsb := time.Now()
+	sb := slashburn.Run(g, k)
+	timeSlashBurn := time.Since(tsb)
+
+	p := &Precomputed{
+		N:      n,
+		N1:     n - sb.NumHubs,
+		N2:     sb.NumHubs,
+		C:      opts.C,
+		Blocks: sb.Blocks,
+	}
+	perm := append([]int(nil), sb.Perm...)
+	invPerm := append([]int(nil), sb.InvPerm...)
+
+	// Line 4: permute and partition H.
+	hp := h.Permute(perm, perm)
+	n1 := p.N1
+	h11 := hp.Submatrix(0, n1, 0, n1)
+	h12 := hp.Submatrix(0, n1, n1, n).ToCSR()
+	h21 := hp.Submatrix(n1, n, 0, n1).ToCSR()
+	h22 := hp.Submatrix(n1, n, n1, n).ToCSR()
+
+	workers := opts.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 0 {
+		workers = 1
+	}
+
+	// Line 5: LU-decompose H₁₁ and invert the factors. Gilbert–Peierls on a
+	// block-diagonal matrix factors each block independently (Lemma 1), and
+	// the reach-limited triangular inversion preserves the block structure —
+	// which also makes the blocks embarrassingly parallel.
+	tlu1 := time.Now()
+	var l1inv, u1inv *sparse.CSR
+	if workers > 1 && len(sb.Blocks) > 1 {
+		li, ui, err := sparse.BlockDiagLUInverse(h11, sb.Blocks, workers)
+		if err != nil {
+			return nil, fmt.Errorf("core: factoring H11 blocks: %w", err)
+		}
+		l1inv, u1inv = li, ui
+	} else {
+		f1, err := sparse.LU(h11)
+		if err != nil {
+			return nil, fmt.Errorf("core: LU of H11: %w", err)
+		}
+		l1invCSC, err := sparse.InverseLower(f1.L, true)
+		if err != nil {
+			return nil, fmt.Errorf("core: inverting L1: %w", err)
+		}
+		u1invCSC, err := sparse.InverseUpper(f1.U)
+		if err != nil {
+			return nil, fmt.Errorf("core: inverting U1: %w", err)
+		}
+		l1inv = l1invCSC.ToCSR()
+		u1inv = u1invCSC.ToCSR()
+	}
+	timeLU1 := time.Since(tlu1)
+
+	// Line 6: Schur complement S = H₂₂ − H₂₁ U₁⁻¹ L₁⁻¹ H₁₂.
+	tschur := time.Now()
+	var s *sparse.CSR
+	if p.N2 > 0 {
+		t1 := sparse.ParallelMul(l1inv, h12, workers)
+		t2 := sparse.ParallelMul(u1inv, t1, workers)
+		t3 := sparse.ParallelMul(h21, t2, workers)
+		s = sparse.Sub(h22, t3).Prune()
+	} else {
+		s = sparse.NewCSR(0, 0, nil)
+	}
+	timeSchur := time.Since(tschur)
+
+	// Line 7: reorder hubs in ascending order of degree within S.
+	if p.N2 > 1 && !opts.NoHubOrder {
+		hubPerm := hubDegreeOrder(s)
+		s = s.Permute(hubPerm, hubPerm)
+		h12 = h12.Permute(nil, hubPerm)
+		h21 = h21.Permute(hubPerm, nil)
+		// Fold the hub reorder into the global permutation.
+		oldInvHubs := append([]int(nil), invPerm[n1:]...)
+		for oldPos, newPos := range hubPerm {
+			invPerm[n1+newPos] = oldInvHubs[oldPos]
+		}
+		for pos, node := range invPerm {
+			perm[node] = pos
+		}
+	}
+
+	// Line 8: LU-decompose S and invert the factors.
+	tlu2 := time.Now()
+	l2inv, u2inv, sperm, err := factorSchur(s, opts.DenseSchurCutoff)
+	if err != nil {
+		return nil, fmt.Errorf("core: factoring Schur complement: %w", err)
+	}
+	timeLU2 := time.Since(tlu2)
+
+	// Line 9: BEAR-Approx drops near-zero entries.
+	if opts.DropTol > 0 {
+		l1inv = l1inv.Drop(opts.DropTol)
+		u1inv = u1inv.Drop(opts.DropTol)
+		l2inv = l2inv.Drop(opts.DropTol)
+		u2inv = u2inv.Drop(opts.DropTol)
+		h12 = h12.Drop(opts.DropTol)
+		h21 = h21.Drop(opts.DropTol)
+	}
+
+	p.Perm = perm
+	p.InvPerm = invPerm
+	p.L1Inv = l1inv
+	p.U1Inv = u1inv
+	p.H12 = h12
+	p.H21 = h21
+	p.L2Inv = l2inv
+	p.U2Inv = u2inv
+	p.SPerm = sperm
+	p.OutDegree = weightedOutDegrees(g)
+	p.Stats = Stats{
+		N: n, M: g.M(), N1: p.N1, N2: p.N2,
+		NumBlocks:      len(sb.Blocks),
+		SumSqBlocks:    sb.SumSqBlocks(),
+		SlashBurnIters: sb.Iterations,
+		NNZH:           h.NNZ(),
+		NNZH12H21:      h12.NNZ() + h21.NNZ(),
+		NNZL1U1:        l1inv.NNZ() + u1inv.NNZ(),
+		NNZL2U2:        l2inv.NNZ() + u2inv.NNZ(),
+		TimeSlashBurn:  timeSlashBurn,
+		TimeLU1:        timeLU1,
+		TimeSchur:      timeSchur,
+		TimeLU2:        timeLU2,
+		TimeTotal:      time.Since(start),
+	}
+	return p, nil
+}
+
+// hubDegreeOrder returns a permutation (old position -> new position)
+// sorting the hubs by ascending degree in S, where the degree of hub i is
+// the number of off-diagonal nonzeros in row i and column i of S.
+func hubDegreeOrder(s *sparse.CSR) []int {
+	n2 := s.R
+	deg := make([]int, n2)
+	for i := 0; i < n2; i++ {
+		cols, _ := s.Row(i)
+		for _, j := range cols {
+			if j != i {
+				deg[i]++
+				deg[j]++
+			}
+		}
+	}
+	order := make([]int, n2)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if deg[order[a]] != deg[order[b]] {
+			return deg[order[a]] < deg[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	permOldToNew := make([]int, n2)
+	for newPos, oldPos := range order {
+		permOldToNew[oldPos] = newPos
+	}
+	return permOldToNew
+}
+
+// factorSchur LU-decomposes S and returns L₂⁻¹, U₂⁻¹ and the pivot
+// permutation. Small/medium Schur complements use dense LU with partial
+// pivoting for robustness; very large ones fall back to sparse no-pivot LU
+// (safe because S inherits column diagonal dominance from H).
+func factorSchur(s *sparse.CSR, denseCutoff int) (l2inv, u2inv *sparse.CSR, sperm []int, err error) {
+	n2 := s.R
+	if n2 == 0 {
+		empty := sparse.NewCSR(0, 0, nil)
+		return empty, empty.Clone(), nil, nil
+	}
+	if n2 <= denseCutoff {
+		sd := dense.NewFrom(n2, n2, s.Dense())
+		f, err := dense.LU(sd)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		li := dense.InverseLowerUnit(f.L())
+		ui, err := dense.InverseUpper(f.U())
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return sparse.FromDense(n2, n2, li.Data), sparse.FromDense(n2, n2, ui.Data), f.PermVector(), nil
+	}
+	f, err := sparse.LU(s.ToCSC())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	liCSC, err := sparse.InverseLower(f.L, true)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	uiCSC, err := sparse.InverseUpper(f.U)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return liCSC.ToCSR(), uiCSC.ToCSR(), nil, nil
+}
+
+func weightedOutDegrees(g *graph.Graph) []float64 {
+	d := make([]float64, g.N())
+	for u := 0; u < g.N(); u++ {
+		_, w := g.Out(u)
+		for _, x := range w {
+			d[u] += x
+		}
+	}
+	return d
+}
+
+// NNZ returns the total number of stored entries across the six
+// precomputed matrices, the quantity Figure 2 of the paper compares.
+func (p *Precomputed) NNZ() int64 {
+	return int64(p.L1Inv.NNZ()) + int64(p.U1Inv.NNZ()) +
+		int64(p.H12.NNZ()) + int64(p.H21.NNZ()) +
+		int64(p.L2Inv.NNZ()) + int64(p.U2Inv.NNZ())
+}
+
+// Bytes estimates the memory used by the precomputed matrices and
+// permutations, the quantity Figure 5 of the paper compares.
+func (p *Precomputed) Bytes() int64 {
+	b := p.L1Inv.Bytes() + p.U1Inv.Bytes() + p.H12.Bytes() + p.H21.Bytes() +
+		p.L2Inv.Bytes() + p.U2Inv.Bytes()
+	b += int64(len(p.Perm)+len(p.InvPerm)+len(p.SPerm)) * 8
+	b += int64(len(p.OutDegree)) * 8
+	return b
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bear/internal/graph"
+	"bear/internal/graph/gen"
+)
+
+// freshSolve preprocesses the graph from scratch and queries it — the
+// oracle the Woodbury-updated answers must match exactly.
+func freshSolve(t *testing.T, g *graph.Graph, seed int) []float64 {
+	t.Helper()
+	p, err := Preprocess(g, Options{K: 2})
+	if err != nil {
+		t.Fatalf("fresh Preprocess: %v", err)
+	}
+	r, err := p.Query(seed)
+	if err != nil {
+		t.Fatalf("fresh Query: %v", err)
+	}
+	return r
+}
+
+func TestDynamicNoUpdatesMatchesStatic(t *testing.T) {
+	g := gen.RMAT(gen.NewRMATPul(200, 1200, 0.7, 50))
+	d, err := NewDynamic(g, Options{K: 2})
+	if err != nil {
+		t.Fatalf("NewDynamic: %v", err)
+	}
+	got, err := d.Query(9)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	want, err := d.Precomputed().Query(9)
+	if err != nil {
+		t.Fatalf("static Query: %v", err)
+	}
+	if diff := maxAbsDiff(got, want); diff != 0 {
+		t.Fatalf("no-update dynamic differs by %g", diff)
+	}
+}
+
+func TestDynamicAddEdgeExact(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 2, 51)
+	d, err := NewDynamic(g, Options{K: 2})
+	if err != nil {
+		t.Fatalf("NewDynamic: %v", err)
+	}
+	if err := d.AddEdge(3, 140, 2.5); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if d.PendingNodes() != 1 {
+		t.Fatalf("PendingNodes = %d, want 1", d.PendingNodes())
+	}
+	got, err := d.Query(3)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	want := freshSolve(t, d.Graph(), 3)
+	if diff := maxAbsDiff(got, want); diff > 1e-9 {
+		t.Fatalf("updated query differs from fresh preprocess by %g", diff)
+	}
+}
+
+func TestDynamicRemoveEdgeExact(t *testing.T) {
+	g := gen.ErdosRenyi(120, 700, 52)
+	d, err := NewDynamic(g, Options{K: 2})
+	if err != nil {
+		t.Fatalf("NewDynamic: %v", err)
+	}
+	// Remove an existing edge.
+	var u, v int
+	found := false
+	for u = 0; u < g.N() && !found; u++ {
+		dst, _ := g.Out(u)
+		if len(dst) > 1 {
+			v = dst[0]
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no removable edge")
+	}
+	if err := d.RemoveEdge(u, v); err != nil {
+		t.Fatalf("RemoveEdge: %v", err)
+	}
+	got, err := d.Query(u)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	want := freshSolve(t, d.Graph(), u)
+	if diff := maxAbsDiff(got, want); diff > 1e-9 {
+		t.Fatalf("after removal, diff %g", diff)
+	}
+	if err := d.RemoveEdge(u, v); err == nil {
+		t.Fatal("expected error removing a missing edge")
+	}
+}
+
+func TestDynamicBatchedUpdatesExact(t *testing.T) {
+	g := gen.RMAT(gen.NewRMATPul(256, 1500, 0.6, 53))
+	d, err := NewDynamic(g, Options{K: 3})
+	if err != nil {
+		t.Fatalf("NewDynamic: %v", err)
+	}
+	rng := rand.New(rand.NewSource(54))
+	// Ten scattered updates: adds, removals, full row replacements.
+	for i := 0; i < 10; i++ {
+		u := rng.Intn(g.N())
+		switch i % 3 {
+		case 0:
+			if err := d.AddEdge(u, rng.Intn(g.N()), 1+rng.Float64()); err != nil {
+				t.Fatalf("AddEdge: %v", err)
+			}
+		case 1:
+			dst, _ := d.Graph().Out(u)
+			if len(dst) > 0 {
+				if err := d.RemoveEdge(u, dst[rng.Intn(len(dst))]); err != nil {
+					t.Fatalf("RemoveEdge: %v", err)
+				}
+			}
+		default:
+			if err := d.UpdateNode(u, []int{rng.Intn(g.N()), rng.Intn(g.N())}, []float64{1, 2}); err != nil {
+				t.Fatalf("UpdateNode: %v", err)
+			}
+		}
+	}
+	for _, seed := range []int{0, 100, 255} {
+		got, err := d.Query(seed)
+		if err != nil {
+			t.Fatalf("Query(%d): %v", seed, err)
+		}
+		want := freshSolve(t, d.Graph(), seed)
+		if diff := maxAbsDiff(got, want); diff > 1e-8 {
+			t.Fatalf("seed %d: batched updates diff %g", seed, diff)
+		}
+	}
+}
+
+func TestDynamicRebuild(t *testing.T) {
+	g := gen.BarabasiAlbert(120, 2, 55)
+	d, err := NewDynamic(g, Options{K: 2})
+	if err != nil {
+		t.Fatalf("NewDynamic: %v", err)
+	}
+	if err := d.AddEdge(0, 100, 1); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	before, err := d.Query(0)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if err := d.Rebuild(); err != nil {
+		t.Fatalf("Rebuild: %v", err)
+	}
+	if d.PendingNodes() != 0 {
+		t.Fatalf("PendingNodes after Rebuild = %d", d.PendingNodes())
+	}
+	after, err := d.Query(0)
+	if err != nil {
+		t.Fatalf("Query after Rebuild: %v", err)
+	}
+	if diff := maxAbsDiff(before, after); diff > 1e-9 {
+		t.Fatalf("Rebuild changed answers by %g", diff)
+	}
+}
+
+func TestDynamicValidation(t *testing.T) {
+	g := gen.ErdosRenyi(30, 120, 56)
+	d, err := NewDynamic(g, Options{K: 1})
+	if err != nil {
+		t.Fatalf("NewDynamic: %v", err)
+	}
+	if err := d.UpdateNode(30, nil, nil); err == nil {
+		t.Fatal("expected out-of-range node error")
+	}
+	if err := d.UpdateNode(0, []int{1}, nil); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if err := d.UpdateNode(0, []int{99}, []float64{1}); err == nil {
+		t.Fatal("expected out-of-range destination error")
+	}
+	if err := d.UpdateNode(0, []int{1}, []float64{-1}); err == nil {
+		t.Fatal("expected negative weight error")
+	}
+	if err := d.AddEdge(0, -1, 1); err == nil {
+		t.Fatal("expected destination range error")
+	}
+	if _, err := d.Query(-1); err == nil {
+		t.Fatal("expected seed range error")
+	}
+	if _, err := d.QueryDist(make([]float64, 29)); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestDynamicUpdateToDangling(t *testing.T) {
+	// Emptying a node's out-edges makes it dangling; the updated system
+	// must still match a fresh preprocess.
+	g := gen.ErdosRenyi(80, 500, 57)
+	d, err := NewDynamic(g, Options{K: 2})
+	if err != nil {
+		t.Fatalf("NewDynamic: %v", err)
+	}
+	if err := d.UpdateNode(5, nil, nil); err != nil {
+		t.Fatalf("UpdateNode to empty: %v", err)
+	}
+	got, err := d.Query(5)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	want := freshSolve(t, d.Graph(), 5)
+	if diff := maxAbsDiff(got, want); diff > 1e-9 {
+		t.Fatalf("dangling update diff %g", diff)
+	}
+}
+
+// Property: random single-node row replacements keep dynamic queries equal
+// to fresh preprocessing.
+func TestQuickDynamicWoodburyExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(60)
+		b := graph.NewBuilder(n)
+		for e := 0; e < 4*n; e++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n), 1)
+		}
+		g := b.Build()
+		d, err := NewDynamic(g, Options{K: 2})
+		if err != nil {
+			return false
+		}
+		u := rng.Intn(n)
+		if err := d.UpdateNode(u, []int{rng.Intn(n), rng.Intn(n)}, []float64{1, 3}); err != nil {
+			return false
+		}
+		s := rng.Intn(n)
+		got, err := d.Query(s)
+		if err != nil {
+			return false
+		}
+		p2, err := Preprocess(d.Graph(), Options{K: 2})
+		if err != nil {
+			return false
+		}
+		want, err := p2.Query(s)
+		if err != nil {
+			return false
+		}
+		return maxAbsDiff(got, want) <= 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

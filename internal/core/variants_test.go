@@ -1,0 +1,299 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bear/internal/graph"
+	"bear/internal/graph/gen"
+	"bear/internal/sparse"
+)
+
+func TestQueryDistMatchesPPR(t *testing.T) {
+	// Personalized PageRank: multi-seed starting vector (Section 3.4).
+	g := gen.RMAT(gen.NewRMATPul(200, 1100, 0.7, 10))
+	p, err := Preprocess(g, Options{K: 2})
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	q := make([]float64, g.N())
+	q[3], q[77], q[150] = 0.5, 0.25, 0.25
+	got, err := p.QueryDist(q)
+	if err != nil {
+		t.Fatalf("QueryDist: %v", err)
+	}
+	want := directSolve(t, g, p.C, q)
+	if d := maxAbsDiff(got, want); d > 1e-10 {
+		t.Fatalf("PPR diff %g", d)
+	}
+}
+
+func TestQueryDistLinearInQ(t *testing.T) {
+	// RWR is linear in the starting vector: r(αq1 + βq2) = αr(q1) + βr(q2).
+	g := gen.BarabasiAlbert(150, 3, 11)
+	p, err := Preprocess(g, Options{K: 2})
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	q1 := make([]float64, g.N())
+	q2 := make([]float64, g.N())
+	q1[5], q2[100] = 1, 1
+	r1, _ := p.QueryDist(q1)
+	r2, _ := p.QueryDist(q2)
+	comb := make([]float64, g.N())
+	comb[5], comb[100] = 0.3, 0.7
+	rc, err := p.QueryDist(comb)
+	if err != nil {
+		t.Fatalf("QueryDist: %v", err)
+	}
+	for i := range rc {
+		want := 0.3*r1[i] + 0.7*r2[i]
+		if math.Abs(rc[i]-want) > 1e-12 {
+			t.Fatalf("linearity violated at %d: %g vs %g", i, rc[i], want)
+		}
+	}
+}
+
+func TestQueryDistRejectsBadInput(t *testing.T) {
+	g := gen.ErdosRenyi(20, 60, 12)
+	p, err := Preprocess(g, Options{K: 1})
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	if _, err := p.QueryDist(make([]float64, 19)); err == nil {
+		t.Fatal("expected length error")
+	}
+	bad := make([]float64, 20)
+	bad[3] = -1
+	if _, err := p.QueryDist(bad); err == nil {
+		t.Fatal("expected negativity error")
+	}
+	bad[3] = math.NaN()
+	if _, err := p.QueryDist(bad); err == nil {
+		t.Fatal("expected NaN error")
+	}
+	if _, err := p.Query(-1); err == nil {
+		t.Fatal("expected seed range error")
+	}
+	if _, err := p.Query(20); err == nil {
+		t.Fatal("expected seed range error")
+	}
+}
+
+func TestEffectiveImportance(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 2, 13)
+	p, err := Preprocess(g, Options{K: 1})
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	raw, err := p.Query(4)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	ei, err := p.QueryEffectiveImportance(4)
+	if err != nil {
+		t.Fatalf("QueryEffectiveImportance: %v", err)
+	}
+	for u := 0; u < g.N(); u++ {
+		_, w := g.Out(u)
+		var deg float64
+		for _, x := range w {
+			deg += x
+		}
+		want := raw[u]
+		if deg > 0 {
+			want = raw[u] / deg
+		}
+		if math.Abs(ei[u]-want) > 1e-15 {
+			t.Fatalf("EI wrong at %d", u)
+		}
+	}
+}
+
+func TestLaplacianVariant(t *testing.T) {
+	// RWR with normalized graph Laplacian (Section 3.4): BEAR must solve
+	// (I − (1−c) Lᵀ) r = c q with L = D^{-1/2} A D^{-1/2}.
+	b := graph.NewBuilder(40)
+	rng := rand.New(rand.NewSource(14))
+	for e := 0; e < 120; e++ {
+		u, v := rng.Intn(40), rng.Intn(40)
+		if u != v {
+			b.AddUndirected(u, v, 1)
+		}
+	}
+	g := b.Build()
+	const c = 0.1
+	p, err := Preprocess(g, Options{C: c, K: 1, Laplacian: true})
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	got, err := p.Query(7)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	// Direct solve of the Laplacian system.
+	f, err := sparse.LU(g.HMatrixCSC(c, true))
+	if err != nil {
+		t.Fatalf("LU: %v", err)
+	}
+	want := make([]float64, g.N())
+	want[7] = c
+	if err := f.Solve(want); err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if d := maxAbsDiff(got, want); d > 1e-10 {
+		t.Fatalf("Laplacian variant diff %g", d)
+	}
+}
+
+func TestLaplacianSymmetricScores(t *testing.T) {
+	// On undirected graphs the Laplacian variant yields symmetric scores:
+	// r_u(seed v) == r_v(seed u), the property Tong et al. motivate it by.
+	b := graph.NewBuilder(25)
+	rng := rand.New(rand.NewSource(15))
+	for e := 0; e < 70; e++ {
+		u, v := rng.Intn(25), rng.Intn(25)
+		if u != v {
+			b.AddUndirected(u, v, 1)
+		}
+	}
+	g := b.Build()
+	p, err := Preprocess(g, Options{K: 1, Laplacian: true})
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	ra, _ := p.Query(3)
+	rb, _ := p.Query(19)
+	if math.Abs(ra[19]-rb[3]) > 1e-10 {
+		t.Fatalf("laplacian scores not symmetric: %g vs %g", ra[19], rb[3])
+	}
+}
+
+func TestScoresSumToOne(t *testing.T) {
+	// With a stochastic transition (no dangling nodes), RWR scores form a
+	// probability distribution.
+	g := gen.BarabasiAlbert(200, 2, 16) // undirected => no dangling nodes
+	p, err := Preprocess(g, Options{K: 2})
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	r, err := p.Query(9)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	var sum float64
+	for _, v := range r {
+		if v < -1e-12 {
+			t.Fatalf("negative score %g", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("scores sum to %g, want 1", sum)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	scores := []float64{0.1, 0.5, 0.3, 0.5, 0.0}
+	got := TopK(scores, 3)
+	want := []int{1, 3, 2} // ties broken by id
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", got, want)
+		}
+	}
+	if len(TopK(scores, 100)) != 5 {
+		t.Fatal("TopK should clamp k")
+	}
+}
+
+// Property: BEAR-Exact matches the direct solve on arbitrary random graphs
+// and seeds (Theorem 1 of the paper, exercised via testing/quick).
+func TestQuickBearExactTheorem1(t *testing.T) {
+	f := func(seed int64, kRaw, cRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(80)
+		b := graph.NewBuilder(n)
+		m := n * (1 + rng.Intn(4))
+		for e := 0; e < m; e++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n), 1+rng.Float64())
+		}
+		g := b.Build()
+		c := 0.02 + float64(cRaw%90)/100 // in [0.02, 0.92)
+		k := 1 + int(kRaw)%8
+		p, err := Preprocess(g, Options{C: c, K: k})
+		if err != nil {
+			return false
+		}
+		s := rng.Intn(n)
+		got, err := p.Query(s)
+		if err != nil {
+			return false
+		}
+		q := make([]float64, n)
+		q[s] = 1
+		f2, err := sparse.LU(g.HMatrixCSC(c, false))
+		if err != nil {
+			return false
+		}
+		want := make([]float64, n)
+		want[s] = c
+		if err := f2.Solve(want); err != nil {
+			return false
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryPageRank(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 2, 17)
+	p, err := Preprocess(g, Options{K: 2})
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	pr, err := p.QueryPageRank()
+	if err != nil {
+		t.Fatalf("QueryPageRank: %v", err)
+	}
+	var sum float64
+	for _, v := range pr {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("PageRank sums to %g", sum)
+	}
+	// Matches the direct solve with uniform q.
+	q := make([]float64, g.N())
+	for i := range q {
+		q[i] = 1 / float64(g.N())
+	}
+	want := directSolve(t, g, p.C, q)
+	if d := maxAbsDiff(pr, want); d > 1e-10 {
+		t.Fatalf("PageRank diff %g vs direct solve", d)
+	}
+	// The highest-degree node must outrank the lowest-degree node: with a
+	// small restart probability, undirected PageRank tracks degree.
+	deg := g.TotalDegrees()
+	hub, leaf := 0, 0
+	for u := range deg {
+		if deg[u] > deg[hub] {
+			hub = u
+		}
+		if deg[u] < deg[leaf] {
+			leaf = u
+		}
+	}
+	if pr[hub] <= pr[leaf] {
+		t.Fatalf("hub PageRank %g not above leaf %g", pr[hub], pr[leaf])
+	}
+}

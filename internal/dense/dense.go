@@ -1,0 +1,117 @@
+// Package dense implements the small dense linear algebra kernel used by
+// the RWR methods: row-major matrices, LU with partial pivoting, Householder
+// QR, triangular inversion, and full inversion. It exists because the paper
+// factors the Schur complement and the diagonal blocks of H₁₁ densely, and
+// because the Inversion and QR baselines are inherently dense.
+package dense
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a row-major dense matrix.
+type Matrix struct {
+	R, C int
+	Data []float64
+}
+
+// New allocates an r x c zero matrix.
+func New(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("dense: negative dimension %dx%d", r, c))
+	}
+	return &Matrix{R: r, C: c, Data: make([]float64, r*c)}
+}
+
+// NewFrom wraps existing row-major data (not copied).
+func NewFrom(r, c int, data []float64) *Matrix {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("dense: need %d values for %dx%d, got %d", r*c, r, c, len(data)))
+	}
+	return &Matrix{R: r, C: c, Data: data}
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.C+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.C+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	return &Matrix{R: m.R, C: m.C, Data: append([]float64(nil), m.Data...)}
+}
+
+// MulVec computes y = A x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.C {
+		panic(fmt.Sprintf("dense: MulVec shape mismatch %dx%d, len(x)=%d", m.R, m.C, len(x)))
+	}
+	y := make([]float64, m.R)
+	for i := 0; i < m.R; i++ {
+		row := m.Data[i*m.C : (i+1)*m.C]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Mul computes C = A B.
+func Mul(a, b *Matrix) *Matrix {
+	if a.C != b.R {
+		panic(fmt.Sprintf("dense: Mul shape mismatch %dx%d * %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := New(a.R, b.C)
+	for i := 0; i < a.R; i++ {
+		arow := a.Data[i*a.C : (i+1)*a.C]
+		orow := out.Data[i*b.C : (i+1)*b.C]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.C : (k+1)*b.C]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns Aᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.C, m.R)
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < m.C; j++ {
+			out.Data[j*m.R+i] = m.Data[i*m.C+j]
+		}
+	}
+	return out
+}
+
+// MaxAbsDiff returns max |a - b| elementwise; shapes must match.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.R != b.R || a.C != b.C {
+		panic("dense: MaxAbsDiff shape mismatch")
+	}
+	var mx float64
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}

@@ -1,0 +1,140 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// randomWellConditioned returns a random diagonally dominant square matrix.
+func randomWellConditioned(rng *rand.Rand, n int) *Matrix {
+	m := randomMatrix(rng, n, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			if j != i {
+				s += math.Abs(m.Data[i*n+j])
+			}
+		}
+		m.Data[i*n+i] = s + 1 + rng.Float64()
+	}
+	return m
+}
+
+func matricesClose(t *testing.T, got, want *Matrix, tol float64, msg string) {
+	t.Helper()
+	if got.R != want.R || got.C != want.C {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", msg, got.R, got.C, want.R, want.C)
+	}
+	if d := MaxAbsDiff(got, want); d > tol {
+		t.Fatalf("%s: max diff %g > %g", msg, d, tol)
+	}
+}
+
+func TestNewFromPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFrom(2, 2, []float64{1, 2, 3})
+}
+
+func TestIdentityMulVec(t *testing.T) {
+	id := Identity(5)
+	x := []float64{1, 2, 3, 4, 5}
+	got := id.MulVec(x)
+	for i := range x {
+		if got[i] != x[i] {
+			t.Fatalf("I x wrong at %d", i)
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := NewFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewFrom(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got := Mul(a, b)
+	want := NewFrom(2, 2, []float64{58, 64, 139, 154})
+	matricesClose(t, got, want, 0, "2x3 * 3x2")
+}
+
+func TestMulVsMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for trial := 0; trial < 20; trial++ {
+		p, q, r := 1+rng.Intn(10), 1+rng.Intn(10), 1+rng.Intn(10)
+		a, b := randomMatrix(rng, p, q), randomMatrix(rng, q, r)
+		ab := Mul(a, b)
+		x := make([]float64, r)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		lhs := ab.MulVec(x)
+		rhs := a.MulVec(b.MulVec(x))
+		for i := range lhs {
+			if math.Abs(lhs[i]-rhs[i]) > 1e-9*(1+math.Abs(rhs[i])) {
+				t.Fatalf("(AB)x != A(Bx) at %d", i)
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	m := randomMatrix(rng, 4, 7)
+	mt := m.Transpose()
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 7; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatalf("transpose wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+	matricesClose(t, mt.Transpose(), m, 0, "(Aᵀ)ᵀ")
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := Identity(3)
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+// Property: Mul distributes over vector addition.
+func TestQuickMulVecAdditive(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	f := func(seed int64) bool {
+		lr := rand.New(rand.NewSource(seed))
+		r, c := 1+lr.Intn(10), 1+lr.Intn(10)
+		m := randomMatrix(rng, r, c)
+		x := make([]float64, c)
+		y := make([]float64, c)
+		xy := make([]float64, c)
+		for i := range x {
+			x[i], y[i] = rng.NormFloat64(), rng.NormFloat64()
+			xy[i] = x[i] + y[i]
+		}
+		lhs := m.MulVec(xy)
+		mx, my := m.MulVec(x), m.MulVec(y)
+		for i := range lhs {
+			if math.Abs(lhs[i]-(mx[i]+my[i])) > 1e-9*(1+math.Abs(lhs[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+)
+
+// SymEigen computes the full eigendecomposition A = V diag(λ) Vᵀ of a
+// symmetric matrix with the cyclic Jacobi method. Eigenvalues are returned
+// in descending order with matching eigenvector columns. The input is not
+// modified. Jacobi is quadratically convergent and unconditionally stable,
+// which is all the truncated-SVD driver needs for its small t×t core.
+func SymEigen(a *Matrix) (eigvals []float64, eigvecs *Matrix, err error) {
+	n := a.R
+	if a.R != a.C {
+		panic(fmt.Sprintf("dense: SymEigen requires a square matrix, got %dx%d", a.R, a.C))
+	}
+	const (
+		maxSweeps = 100
+		tol       = 1e-14
+	)
+	// Verify symmetry within roundoff; Jacobi silently computes nonsense
+	// for asymmetric inputs.
+	var scale float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v := math.Abs(a.At(i, j)); v > scale {
+				scale = v
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a.At(i, j)-a.At(j, i)) > 1e-8*(1+scale) {
+				return nil, nil, fmt.Errorf("dense: SymEigen input not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	w := a.Clone()
+	v := Identity(n)
+	d := w.Data
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		// Off-diagonal Frobenius norm.
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += d[i*n+j] * d[i*n+j]
+			}
+		}
+		if math.Sqrt(2*off) <= tol*(1+scale) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := d[p*n+q]
+				if math.Abs(apq) <= tol*(1+scale) {
+					continue
+				}
+				app, aqq := d[p*n+p], d[q*n+q]
+				// Rotation angle zeroing (p, q).
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Apply the rotation to rows/columns p and q of W.
+				for k := 0; k < n; k++ {
+					akp, akq := d[k*n+p], d[k*n+q]
+					d[k*n+p] = c*akp - s*akq
+					d[k*n+q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := d[p*n+k], d[q*n+k]
+					d[p*n+k] = c*apk - s*aqk
+					d[q*n+k] = s*apk + c*aqk
+				}
+				// Accumulate eigenvectors.
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.Data[k*n+p], v.Data[k*n+q]
+					v.Data[k*n+p] = c*vkp - s*vkq
+					v.Data[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	// Extract and sort descending.
+	eigvals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		eigvals[i] = d[i*n+i]
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < n; i++ { // simple selection sort; n is small here
+		best := i
+		for j := i + 1; j < n; j++ {
+			if eigvals[order[j]] > eigvals[order[best]] {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+	sorted := make([]float64, n)
+	vecs := New(n, n)
+	for newJ, oldJ := range order {
+		sorted[newJ] = eigvals[oldJ]
+		for i := 0; i < n; i++ {
+			vecs.Data[i*n+newJ] = v.Data[i*n+oldJ]
+		}
+	}
+	return sorted, vecs, nil
+}
+
+// OrthonormalizeColumns replaces the columns of a (r x c, r >= c) with an
+// orthonormal basis of their span using modified Gram–Schmidt with a single
+// reorthogonalization pass. Columns that become numerically zero (rank
+// deficiency) are replaced with zero columns and their count is returned.
+func OrthonormalizeColumns(a *Matrix) (rankDeficient int) {
+	r, c := a.R, a.C
+	col := func(j int) []float64 {
+		out := make([]float64, r)
+		for i := 0; i < r; i++ {
+			out[i] = a.Data[i*c+j]
+		}
+		return out
+	}
+	setCol := func(j int, v []float64) {
+		for i := 0; i < r; i++ {
+			a.Data[i*c+j] = v[i]
+		}
+	}
+	dot := func(x, y []float64) float64 {
+		var s float64
+		for i := range x {
+			s += x[i] * y[i]
+		}
+		return s
+	}
+	for j := 0; j < c; j++ {
+		v := col(j)
+		for pass := 0; pass < 2; pass++ {
+			for k := 0; k < j; k++ {
+				u := col(k)
+				d := dot(u, v)
+				if d == 0 {
+					continue
+				}
+				for i := range v {
+					v[i] -= d * u[i]
+				}
+			}
+		}
+		norm := math.Sqrt(dot(v, v))
+		if norm < 1e-12 {
+			rankDeficient++
+			for i := range v {
+				v[i] = 0
+			}
+		} else {
+			for i := range v {
+				v[i] /= norm
+			}
+		}
+		setCol(j, v)
+	}
+	return rankDeficient
+}

@@ -1,0 +1,122 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomSymmetric(rng *rand.Rand, n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			m.Data[i*n+j] = v
+			m.Data[j*n+i] = v
+		}
+	}
+	return m
+}
+
+func TestSymEigenReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(120))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(15)
+		a := randomSymmetric(rng, n)
+		vals, vecs, err := SymEigen(a)
+		if err != nil {
+			t.Fatalf("SymEigen: %v", err)
+		}
+		// V diag(λ) Vᵀ == A.
+		vd := vecs.Clone()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				vd.Data[i*n+j] *= vals[j]
+			}
+		}
+		matricesClose(t, Mul(vd, vecs.Transpose()), a, 1e-8, "V Λ Vᵀ vs A")
+		// Orthonormal eigenvectors.
+		matricesClose(t, Mul(vecs.Transpose(), vecs), Identity(n), 1e-9, "Vᵀ V")
+		// Descending order.
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-10 {
+				t.Fatalf("eigenvalues not descending: %v", vals)
+			}
+		}
+	}
+}
+
+func TestSymEigenKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := NewFrom(2, 2, []float64{2, 1, 1, 2})
+	vals, _, err := SymEigen(a)
+	if err != nil {
+		t.Fatalf("SymEigen: %v", err)
+	}
+	if math.Abs(vals[0]-3) > 1e-10 || math.Abs(vals[1]-1) > 1e-10 {
+		t.Fatalf("eigenvalues %v, want [3 1]", vals)
+	}
+}
+
+func TestSymEigenRejectsAsymmetric(t *testing.T) {
+	a := NewFrom(2, 2, []float64{1, 2, 3, 4})
+	if _, _, err := SymEigen(a); err == nil {
+		t.Fatal("expected asymmetry error")
+	}
+}
+
+func TestSymEigenDoesNotModifyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	a := randomSymmetric(rng, 6)
+	want := a.Clone()
+	if _, _, err := SymEigen(a); err != nil {
+		t.Fatalf("SymEigen: %v", err)
+	}
+	matricesClose(t, a, want, 0, "input modified")
+}
+
+func TestOrthonormalizeColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	for trial := 0; trial < 10; trial++ {
+		r := 10 + rng.Intn(20)
+		c := 1 + rng.Intn(r)
+		m := randomMatrix(rng, r, c)
+		if def := OrthonormalizeColumns(m); def != 0 {
+			t.Fatalf("random full-rank matrix reported %d deficient columns", def)
+		}
+		g := Mul(m.Transpose(), m)
+		matricesClose(t, g, Identity(c), 1e-10, "QᵀQ")
+	}
+}
+
+func TestOrthonormalizeColumnsRankDeficient(t *testing.T) {
+	// Two identical columns: the second must be reported deficient.
+	m := NewFrom(3, 2, []float64{1, 1, 2, 2, 3, 3})
+	if def := OrthonormalizeColumns(m); def != 1 {
+		t.Fatalf("deficient columns = %d, want 1", def)
+	}
+}
+
+// Property: eigenvalue sum equals the trace.
+func TestQuickSymEigenTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	f := func(seed int64) bool {
+		lr := rand.New(rand.NewSource(seed))
+		n := 1 + lr.Intn(10)
+		a := randomSymmetric(rng, n)
+		vals, _, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		var trace, sum float64
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+			sum += vals[i]
+		}
+		return math.Abs(trace-sum) <= 1e-8*(1+math.Abs(trace))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,202 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+)
+
+// LUFactors is a dense factorization P A = L U with partial pivoting. LU
+// packs L (unit lower, diagonal implicit) and U into one matrix; Piv[k]
+// records the row swapped into position k at step k.
+type LUFactors struct {
+	LU  *Matrix
+	Piv []int
+}
+
+// LU factors a square matrix with partial pivoting. It returns an error if
+// the matrix is numerically singular.
+func LU(a *Matrix) (*LUFactors, error) {
+	if a.R != a.C {
+		panic(fmt.Sprintf("dense: LU requires a square matrix, got %dx%d", a.R, a.C))
+	}
+	n := a.R
+	lu := a.Clone()
+	piv := make([]int, n)
+	d := lu.Data
+	for k := 0; k < n; k++ {
+		// Partial pivoting: pick the largest |entry| in column k at or below k.
+		p := k
+		mx := math.Abs(d[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(d[i*n+k]); v > mx {
+				mx, p = v, i
+			}
+		}
+		if mx == 0 {
+			return nil, fmt.Errorf("dense: singular matrix at pivot %d", k)
+		}
+		piv[k] = p
+		if p != k {
+			for j := 0; j < n; j++ {
+				d[k*n+j], d[p*n+j] = d[p*n+j], d[k*n+j]
+			}
+		}
+		pk := d[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := d[i*n+k] / pk
+			d[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			irow := d[i*n : i*n+n]
+			krow := d[k*n : k*n+n]
+			for j := k + 1; j < n; j++ {
+				irow[j] -= m * krow[j]
+			}
+		}
+	}
+	return &LUFactors{LU: lu, Piv: piv}, nil
+}
+
+// ApplyPiv applies the factorization's row interchanges to b in place,
+// producing P b.
+func (f *LUFactors) ApplyPiv(b []float64) {
+	for k, p := range f.Piv {
+		if p != k {
+			b[k], b[p] = b[p], b[k]
+		}
+	}
+}
+
+// Solve solves A x = b, overwriting b with x.
+func (f *LUFactors) Solve(b []float64) {
+	n := f.LU.R
+	if len(b) != n {
+		panic(fmt.Sprintf("dense: Solve needs len(b)=%d, got %d", n, len(b)))
+	}
+	f.ApplyPiv(b)
+	d := f.LU.Data
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		var s float64
+		row := d[i*n : i*n+i]
+		for j, v := range row {
+			s += v * b[j]
+		}
+		b[i] -= s
+	}
+	// Back substitution with the upper triangle.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += d[i*n+j] * b[j]
+		}
+		b[i] = (b[i] - s) / d[i*n+i]
+	}
+}
+
+// L extracts the unit lower triangular factor as a standalone matrix.
+func (f *LUFactors) L() *Matrix {
+	n := f.LU.R
+	l := Identity(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			l.Data[i*n+j] = f.LU.Data[i*n+j]
+		}
+	}
+	return l
+}
+
+// U extracts the upper triangular factor as a standalone matrix.
+func (f *LUFactors) U() *Matrix {
+	n := f.LU.R
+	u := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			u.Data[i*n+j] = f.LU.Data[i*n+j]
+		}
+	}
+	return u
+}
+
+// PermVector returns p with P b = b[p] expressed as a map from new position
+// to old position, i.e. (P b)[i] = b[p[i]].
+func (f *LUFactors) PermVector() []int {
+	n := len(f.Piv)
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for k, pk := range f.Piv {
+		if pk != k {
+			p[k], p[pk] = p[pk], p[k]
+		}
+	}
+	return p
+}
+
+// Inverse computes A⁻¹ via the factorization.
+func (f *LUFactors) Inverse() *Matrix {
+	n := f.LU.R
+	inv := New(n, n)
+	col := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range col {
+			col[i] = 0
+		}
+		col[j] = 1
+		f.Solve(col)
+		for i := 0; i < n; i++ {
+			inv.Data[i*n+j] = col[i]
+		}
+	}
+	return inv
+}
+
+// Inverse computes A⁻¹ with partial-pivoted LU.
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := LU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Inverse(), nil
+}
+
+// InverseLowerUnit inverts a unit lower triangular matrix in place-free
+// fashion, returning a new matrix.
+func InverseLowerUnit(l *Matrix) *Matrix {
+	n := l.R
+	inv := Identity(n)
+	for j := 0; j < n; j++ {
+		// Column j of the inverse: forward substitution on e_j.
+		for i := j + 1; i < n; i++ {
+			var s float64
+			for k := j; k < i; k++ {
+				s += l.Data[i*n+k] * inv.Data[k*n+j]
+			}
+			inv.Data[i*n+j] = -s
+		}
+	}
+	return inv
+}
+
+// InverseUpper inverts an upper triangular matrix, returning a new matrix,
+// or an error on a zero diagonal.
+func InverseUpper(u *Matrix) (*Matrix, error) {
+	n := u.R
+	inv := New(n, n)
+	for j := 0; j < n; j++ {
+		if u.Data[j*n+j] == 0 {
+			return nil, fmt.Errorf("dense: zero diagonal at %d in upper inverse", j)
+		}
+		inv.Data[j*n+j] = 1 / u.Data[j*n+j]
+		for i := j - 1; i >= 0; i-- {
+			var s float64
+			for k := i + 1; k <= j; k++ {
+				s += u.Data[i*n+k] * inv.Data[k*n+j]
+			}
+			inv.Data[i*n+j] = -s / u.Data[i*n+i]
+		}
+	}
+	return inv, nil
+}

@@ -1,0 +1,171 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUReconstructsWithPivoting(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(20)
+		a := randomMatrix(rng, n, n)
+		f, err := LU(a)
+		if err != nil {
+			// Random matrices are singular with probability 0; treat as flake.
+			t.Fatalf("LU: %v", err)
+		}
+		// P A = L U: apply the recorded pivots to a copy of A.
+		pa := a.Clone()
+		for k, p := range f.Piv {
+			if p != k {
+				for j := 0; j < n; j++ {
+					pa.Data[k*n+j], pa.Data[p*n+j] = pa.Data[p*n+j], pa.Data[k*n+j]
+				}
+			}
+		}
+		matricesClose(t, Mul(f.L(), f.U()), pa, 1e-9, "L U vs P A")
+	}
+}
+
+func TestLUSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(25)
+		a := randomWellConditioned(rng, n)
+		f, err := LU(a)
+		if err != nil {
+			t.Fatalf("LU: %v", err)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(x)
+		f.Solve(b)
+		for i := range b {
+			if math.Abs(b[i]-x[i]) > 1e-8*(1+math.Abs(x[i])) {
+				t.Fatalf("solve wrong at %d: %g vs %g", i, b[i], x[i])
+			}
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewFrom(2, 2, []float64{1, 2, 2, 4})
+	if _, err := LU(a); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(15)
+		a := randomWellConditioned(rng, n)
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Fatalf("Inverse: %v", err)
+		}
+		matricesClose(t, Mul(a, inv), Identity(n), 1e-8, "A A⁻¹")
+		matricesClose(t, Mul(inv, a), Identity(n), 1e-8, "A⁻¹ A")
+	}
+}
+
+func TestPermVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	n := 12
+	a := randomMatrix(rng, n, n)
+	f, err := LU(a)
+	if err != nil {
+		t.Fatalf("LU: %v", err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	viaPiv := append([]float64(nil), b...)
+	f.ApplyPiv(viaPiv)
+	p := f.PermVector()
+	for i := range b {
+		if viaPiv[i] != b[p[i]] {
+			t.Fatalf("PermVector disagrees with ApplyPiv at %d", i)
+		}
+	}
+}
+
+func TestInverseLowerUnit(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(15)
+		l := Identity(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				l.Data[i*n+j] = rng.NormFloat64() * 0.5
+			}
+		}
+		inv := InverseLowerUnit(l)
+		matricesClose(t, Mul(l, inv), Identity(n), 1e-9, "L L⁻¹")
+	}
+}
+
+func TestInverseUpper(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(15)
+		u := New(n, n)
+		for i := 0; i < n; i++ {
+			u.Data[i*n+i] = 1 + rng.Float64()
+			for j := i + 1; j < n; j++ {
+				u.Data[i*n+j] = rng.NormFloat64() * 0.5
+			}
+		}
+		inv, err := InverseUpper(u)
+		if err != nil {
+			t.Fatalf("InverseUpper: %v", err)
+		}
+		matricesClose(t, Mul(u, inv), Identity(n), 1e-9, "U U⁻¹")
+	}
+}
+
+func TestInverseUpperZeroDiagonal(t *testing.T) {
+	u := NewFrom(2, 2, []float64{1, 2, 0, 0})
+	if _, err := InverseUpper(u); err == nil {
+		t.Fatal("expected zero-diagonal error")
+	}
+}
+
+// Property: solving twice with the same factorization is consistent.
+func TestQuickLUSolveLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	f := func(seed int64) bool {
+		lr := rand.New(rand.NewSource(seed))
+		n := 1 + lr.Intn(12)
+		a := randomWellConditioned(rng, n)
+		fac, err := LU(a)
+		if err != nil {
+			return false
+		}
+		b1 := make([]float64, n)
+		b2 := make([]float64, n)
+		sum := make([]float64, n)
+		for i := range b1 {
+			b1[i], b2[i] = rng.NormFloat64(), rng.NormFloat64()
+			sum[i] = b1[i] + b2[i]
+		}
+		fac.Solve(b1)
+		fac.Solve(b2)
+		fac.Solve(sum)
+		for i := range sum {
+			if math.Abs(sum[i]-(b1[i]+b2[i])) > 1e-7*(1+math.Abs(sum[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

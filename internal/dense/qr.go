@@ -1,0 +1,178 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+)
+
+// QRFactors is a Householder QR factorization A = Q R of a square matrix.
+// QR packs the Householder vectors below the diagonal and R on and above
+// it; Beta holds the reflector coefficients.
+type QRFactors struct {
+	QR   *Matrix
+	Beta []float64
+}
+
+// QR computes the Householder QR factorization of a square matrix.
+func QR(a *Matrix) *QRFactors {
+	if a.R != a.C {
+		panic(fmt.Sprintf("dense: QR requires a square matrix, got %dx%d", a.R, a.C))
+	}
+	n := a.R
+	qr := a.Clone()
+	beta := make([]float64, n)
+	d := qr.Data
+	v := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Build the Householder vector for column k.
+		var norm float64
+		for i := k; i < n; i++ {
+			norm += d[i*n+k] * d[i*n+k]
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			beta[k] = 0
+			continue
+		}
+		alpha := d[k*n+k]
+		if alpha > 0 {
+			norm = -norm
+		}
+		v[k] = alpha - norm
+		for i := k + 1; i < n; i++ {
+			v[i] = d[i*n+k]
+		}
+		var vtv float64
+		for i := k; i < n; i++ {
+			vtv += v[i] * v[i]
+		}
+		if vtv == 0 {
+			beta[k] = 0
+			continue
+		}
+		b := 2 / vtv
+		beta[k] = b
+		// Apply the reflector to the trailing submatrix: A -= b v (vᵀ A).
+		for j := k; j < n; j++ {
+			var s float64
+			for i := k; i < n; i++ {
+				s += v[i] * d[i*n+j]
+			}
+			s *= b
+			for i := k; i < n; i++ {
+				d[i*n+j] -= s * v[i]
+			}
+		}
+		// Store R's diagonal entry and the scaled reflector below it.
+		d[k*n+k] = norm
+		vk := v[k]
+		for i := k + 1; i < n; i++ {
+			d[i*n+k] = v[i] / vk
+		}
+	}
+	return &QRFactors{QR: qr, Beta: beta}
+}
+
+// QTVec computes y = Qᵀ x by applying the stored reflectors in order.
+func (f *QRFactors) QTVec(x []float64) []float64 {
+	n := f.QR.R
+	if len(x) != n {
+		panic(fmt.Sprintf("dense: QTVec needs len(x)=%d, got %d", n, len(x)))
+	}
+	y := append([]float64(nil), x...)
+	d := f.QR.Data
+	for k := 0; k < n; k++ {
+		b := f.Beta[k]
+		if b == 0 {
+			continue
+		}
+		// Implicit v: v[k]=1 scaled form. The stored sub-diagonal is v[i]/v[k];
+		// with w = v/v[k], the reflector is I - b' w wᵀ where b' = b v[k]².
+		// Since reflectors are scale invariant we use the normalized form: the
+		// effective coefficient is 2/(wᵀw).
+		var wtw float64 = 1
+		for i := k + 1; i < n; i++ {
+			wtw += d[i*n+k] * d[i*n+k]
+		}
+		bb := 2 / wtw
+		var s float64 = y[k]
+		for i := k + 1; i < n; i++ {
+			s += d[i*n+k] * y[i]
+		}
+		s *= bb
+		y[k] -= s
+		for i := k + 1; i < n; i++ {
+			y[i] -= s * d[i*n+k]
+		}
+	}
+	return y
+}
+
+// SolveR solves R x = b by back substitution, overwriting b with x.
+func (f *QRFactors) SolveR(b []float64) error {
+	n := f.QR.R
+	d := f.QR.Data
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += d[i*n+j] * b[j]
+		}
+		if d[i*n+i] == 0 {
+			return fmt.Errorf("dense: singular R at %d", i)
+		}
+		b[i] = (b[i] - s) / d[i*n+i]
+	}
+	return nil
+}
+
+// Solve solves A x = b via x = R⁻¹ Qᵀ b, returning x.
+func (f *QRFactors) Solve(b []float64) ([]float64, error) {
+	x := f.QTVec(b)
+	if err := f.SolveR(x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// R extracts the upper triangular factor.
+func (f *QRFactors) R() *Matrix {
+	n := f.QR.R
+	r := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			r.Data[i*n+j] = f.QR.Data[i*n+j]
+		}
+	}
+	return r
+}
+
+// Q reconstructs the orthogonal factor explicitly (used by the QR baseline,
+// which stores Qᵀ as the paper describes).
+func (f *QRFactors) Q() *Matrix {
+	n := f.QR.R
+	q := Identity(n)
+	// Q = H_0 H_1 ... H_{n-1}; apply reflectors in reverse to I.
+	d := f.QR.Data
+	for k := n - 1; k >= 0; k-- {
+		if f.Beta[k] == 0 {
+			continue
+		}
+		var wtw float64 = 1
+		for i := k + 1; i < n; i++ {
+			wtw += d[i*n+k] * d[i*n+k]
+		}
+		bb := 2 / wtw
+		for j := 0; j < n; j++ {
+			s := q.Data[k*n+j]
+			for i := k + 1; i < n; i++ {
+				s += d[i*n+k] * q.Data[i*n+j]
+			}
+			s *= bb
+			q.Data[k*n+j] -= s
+			for i := k + 1; i < n; i++ {
+				q.Data[i*n+j] -= s * d[i*n+k]
+			}
+		}
+	}
+	return q
+}

@@ -1,0 +1,117 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(20)
+		a := randomMatrix(rng, n, n)
+		f := QR(a)
+		matricesClose(t, Mul(f.Q(), f.R()), a, 1e-9, "Q R vs A")
+	}
+}
+
+func TestQROrthogonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(15)
+		a := randomMatrix(rng, n, n)
+		q := QR(a).Q()
+		matricesClose(t, Mul(q.Transpose(), q), Identity(n), 1e-9, "Qᵀ Q")
+	}
+}
+
+func TestQRUpperTriangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	a := randomMatrix(rng, 12, 12)
+	r := QR(a).R()
+	for i := 0; i < 12; i++ {
+		for j := 0; j < i; j++ {
+			if r.At(i, j) != 0 {
+				t.Fatalf("R[%d,%d] = %g below diagonal", i, j, r.At(i, j))
+			}
+		}
+	}
+}
+
+func TestQTVecMatchesExplicitQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(15)
+		a := randomMatrix(rng, n, n)
+		f := QR(a)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := f.QTVec(x)
+		want := f.Q().Transpose().MulVec(x)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("QTVec wrong at %d: %g vs %g", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestQRSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(20)
+		a := randomWellConditioned(rng, n)
+		f := QR(a)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(x)
+		got, err := f.Solve(b)
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		for i := range got {
+			if math.Abs(got[i]-x[i]) > 1e-7*(1+math.Abs(x[i])) {
+				t.Fatalf("QR solve wrong at %d", i)
+			}
+		}
+	}
+}
+
+func TestQRSolveSingular(t *testing.T) {
+	a := NewFrom(2, 2, []float64{0, 1, 0, 1}) // zero first column: R[0,0] = 0 exactly
+	f := QR(a)
+	if _, err := f.Solve([]float64{1, 1}); err == nil {
+		t.Fatal("expected singular R error")
+	}
+}
+
+// Property: ‖Qᵀ x‖₂ = ‖x‖₂ (reflectors preserve norms).
+func TestQuickQTVecIsometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	f := func(seed int64) bool {
+		lr := rand.New(rand.NewSource(seed))
+		n := 1 + lr.Intn(15)
+		a := randomMatrix(rng, n, n)
+		fac := QR(a)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y := fac.QTVec(x)
+		var nx, ny float64
+		for i := range x {
+			nx += x[i] * x[i]
+			ny += y[i] * y[i]
+		}
+		return math.Abs(nx-ny) <= 1e-9*(1+nx)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+package graph
+
+// Components labels the weakly connected components of the graph (treating
+// every edge as undirected). It returns one label per node in [0, count)
+// and the component count. Labels are assigned in order of first discovery
+// by node id, so they are deterministic.
+func (g *Graph) Components() (labels []int, count int) {
+	adj := g.UndirectedNeighbors()
+	return componentsOf(g.n, func(u int) []int { return adj[u] }, nil)
+}
+
+// componentsOf runs BFS labelling over an implicit undirected adjacency.
+// If active is non-nil, only nodes with active[u] == true participate;
+// inactive nodes receive label -1.
+func componentsOf(n int, neighbors func(int) []int, active []bool) (labels []int, count int) {
+	labels = make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	queue := make([]int, 0, 256)
+	for s := 0; s < n; s++ {
+		if labels[s] >= 0 || (active != nil && !active[s]) {
+			continue
+		}
+		labels[s] = count
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range neighbors(u) {
+				if labels[v] >= 0 || (active != nil && !active[v]) {
+					continue
+				}
+				labels[v] = count
+				queue = append(queue, v)
+			}
+		}
+		count++
+	}
+	return labels, count
+}
+
+// ComponentSizes returns the size of each component given its labels.
+func ComponentSizes(labels []int, count int) []int {
+	sizes := make([]int, count)
+	for _, l := range labels {
+		if l >= 0 {
+			sizes[l]++
+		}
+	}
+	return sizes
+}

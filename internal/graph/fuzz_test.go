@@ -1,0 +1,36 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadEdgeList checks the edge-list parser never panics and that every
+// successfully parsed graph survives a save/load roundtrip.
+func FuzzLoadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2 0.5\n# comment\n")
+	f.Add("")
+	f.Add("5 5\n")
+	f.Add("0 1 1e300\n")
+	f.Add("000 001\n")
+	f.Add("1 2 3 4 5\n")
+	f.Add("% matrix-market style comment\n0 0 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := LoadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return // rejecting bad input is fine; panicking is not
+		}
+		var buf bytes.Buffer
+		if err := g.SaveEdgeList(&buf); err != nil {
+			t.Fatalf("SaveEdgeList on loaded graph: %v", err)
+		}
+		g2, err := LoadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("reload of saved graph: %v", err)
+		}
+		if g2.M() != g.M() {
+			t.Fatalf("roundtrip changed edge count: %d vs %d", g2.M(), g.M())
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LoadMatrixMarket parses a MatrixMarket coordinate file ("%%MatrixMarket
+// matrix coordinate real|pattern|integer general|symmetric") into a graph,
+// the format SuiteSparse and many graph repositories distribute datasets
+// in. One-based indices are converted to zero-based node ids; symmetric
+// files add both edge directions; pattern files default weights to 1.
+func LoadMatrixMarket(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graph: empty MatrixMarket input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("graph: not a MatrixMarket matrix header: %q", sc.Text())
+	}
+	if header[2] != "coordinate" {
+		return nil, fmt.Errorf("graph: only coordinate format is supported, got %q", header[2])
+	}
+	field := header[3]
+	switch field {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("graph: unsupported field type %q", field)
+	}
+	symmetry := header[4]
+	switch symmetry {
+	case "general", "symmetric":
+	default:
+		return nil, fmt.Errorf("graph: unsupported symmetry %q", symmetry)
+	}
+
+	// Skip comment lines, then read the size line.
+	var sizeLine string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		sizeLine = line
+		break
+	}
+	if sizeLine == "" {
+		return nil, fmt.Errorf("graph: missing MatrixMarket size line")
+	}
+	sf := strings.Fields(sizeLine)
+	if len(sf) != 3 {
+		return nil, fmt.Errorf("graph: bad size line %q", sizeLine)
+	}
+	rows, err := strconv.Atoi(sf[0])
+	if err != nil {
+		return nil, fmt.Errorf("graph: bad row count %q: %v", sf[0], err)
+	}
+	cols, err := strconv.Atoi(sf[1])
+	if err != nil {
+		return nil, fmt.Errorf("graph: bad column count %q: %v", sf[1], err)
+	}
+	nnz, err := strconv.Atoi(sf[2])
+	if err != nil {
+		return nil, fmt.Errorf("graph: bad entry count %q: %v", sf[2], err)
+	}
+	if rows != cols {
+		return nil, fmt.Errorf("graph: adjacency matrix must be square, got %dx%d", rows, cols)
+	}
+	if rows < 0 || nnz < 0 {
+		return nil, fmt.Errorf("graph: negative size in %q", sizeLine)
+	}
+
+	b := NewBuilder(rows)
+	read := 0
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "%") {
+			continue
+		}
+		f := strings.Fields(text)
+		wantFields := 3
+		if field == "pattern" {
+			wantFields = 2
+		}
+		if len(f) < wantFields {
+			return nil, fmt.Errorf("graph: line %d: need %d fields, got %q", line, wantFields, text)
+		}
+		u, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad row %q: %v", line, f[0], err)
+		}
+		v, err := strconv.Atoi(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad column %q: %v", line, f[1], err)
+		}
+		if u < 1 || u > rows || v < 1 || v > rows {
+			return nil, fmt.Errorf("graph: line %d: index (%d,%d) out of 1..%d", line, u, v, rows)
+		}
+		w := 1.0
+		if field != "pattern" {
+			w, err = strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad value %q: %v", line, f[2], err)
+			}
+			if w < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative weight %g", line, w)
+			}
+		}
+		b.AddEdge(u-1, v-1, w)
+		if symmetry == "symmetric" && u != v {
+			b.AddEdge(v-1, u-1, w)
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading MatrixMarket input: %w", err)
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("graph: header promised %d entries, found %d", nnz, read)
+	}
+	return b.Build(), nil
+}
+
+// SaveMatrixMarket writes the graph as a MatrixMarket "coordinate real
+// general" file with one-based indices, the inverse of LoadMatrixMarket.
+func (g *Graph) SaveMatrixMarket(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n%% written by bear\n%d %d %d\n",
+		g.n, g.n, g.M()); err != nil {
+		return err
+	}
+	for u := 0; u < g.n; u++ {
+		dst, wt := g.Out(u)
+		for k, v := range dst {
+			if _, err := fmt.Fprintf(bw, "%d %d %g\n", u+1, v+1, wt[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestLoadMatrixMarketGeneral(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 3 3
+1 2 0.5
+2 3 1.5
+3 1 2
+`
+	g, err := LoadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("LoadMatrixMarket: %v", err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || !g.HasEdge(2, 0) {
+		t.Fatal("edges missing")
+	}
+	_, w := g.Out(0)
+	if w[0] != 0.5 {
+		t.Fatalf("weight %g, want 0.5", w[0])
+	}
+}
+
+func TestLoadMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+3 3 2
+2 1 1
+3 3 4
+`
+	g, err := LoadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("LoadMatrixMarket: %v", err)
+	}
+	// Off-diagonal entries are mirrored; diagonal ones are not doubled.
+	if !g.HasEdge(1, 0) || !g.HasEdge(0, 1) {
+		t.Fatal("symmetric edge not mirrored")
+	}
+	if g.M() != 3 {
+		t.Fatalf("m=%d, want 3", g.M())
+	}
+}
+
+func TestLoadMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	g, err := LoadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("LoadMatrixMarket: %v", err)
+	}
+	_, w := g.Out(0)
+	if len(w) != 1 || w[0] != 1 {
+		t.Fatal("pattern weights should default to 1")
+	}
+}
+
+func TestLoadMatrixMarketErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"bad header":     "%%NotMM matrix coordinate real general\n1 1 0\n",
+		"dense format":   "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"complex field":  "%%MatrixMarket matrix coordinate complex general\n1 1 0\n",
+		"skew symmetry":  "%%MatrixMarket matrix coordinate real skew-symmetric\n1 1 0\n",
+		"non-square":     "%%MatrixMarket matrix coordinate real general\n2 3 0\n",
+		"bad size":       "%%MatrixMarket matrix coordinate real general\nx y z\n",
+		"missing size":   "%%MatrixMarket matrix coordinate real general\n",
+		"index range":    "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",
+		"zero index":     "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1\n",
+		"missing value":  "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2\n",
+		"negative value": "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 -1\n",
+		"count mismatch": "%%MatrixMarket matrix coordinate real general\n2 2 5\n1 2 1\n",
+	}
+	for name, in := range cases {
+		if _, err := LoadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestMatrixMarketRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(140))
+	g := randomGraph(rng, 30, 150)
+	var buf bytes.Buffer
+	if err := g.SaveMatrixMarket(&buf); err != nil {
+		t.Fatalf("SaveMatrixMarket: %v", err)
+	}
+	g2, err := LoadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatalf("LoadMatrixMarket: %v", err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("roundtrip changed size: %d/%d vs %d/%d", g2.N(), g2.M(), g.N(), g.M())
+	}
+	for u := 0; u < g.N(); u++ {
+		d1, w1 := g.Out(u)
+		d2, w2 := g2.Out(u)
+		for k := range d1 {
+			if d1[k] != d2[k] || w1[k] != w2[k] {
+				t.Fatalf("node %d edge %d changed", u, k)
+			}
+		}
+	}
+}
+
+// FuzzLoadMatrixMarket ensures the parser never panics.
+func FuzzLoadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 0.5\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n1 2\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := LoadMatrixMarket(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := g.SaveMatrixMarket(&buf); err != nil {
+			t.Fatalf("save of loaded graph: %v", err)
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package rwr
+
+import (
+	"fmt"
+
+	"bear/internal/dense"
+	"bear/internal/graph"
+)
+
+// Inversion is the direct-inversion baseline: it precomputes the dense
+// H⁻¹ = (I − (1−c)Ãᵀ)⁻¹ and answers queries as r = c H⁻¹ q (Equation 4 of
+// the paper). Its n² memory footprint is exactly why the paper's Figure 5
+// shows it failing first as graphs grow; the memory budget reproduces that.
+type Inversion struct{}
+
+// Name implements Method naming for the harness.
+func (Inversion) Name() string { return "inversion" }
+
+// Preprocess computes the dense inverse of H.
+func (Inversion) Preprocess(g *graph.Graph, opts Options) (Solver, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	estimate := int64(n) * int64(n) * 8 * 2 // inverse + factorization scratch
+	if overBudget(opts, estimate) {
+		return nil, fmt.Errorf("%w: inversion needs ~%d bytes for n=%d", ErrOutOfMemory, estimate, n)
+	}
+	h := g.HMatrixCSC(opts.C, false)
+	hd := dense.NewFrom(n, n, h.Dense())
+	inv, err := dense.Inverse(hd)
+	if err != nil {
+		return nil, fmt.Errorf("rwr: inverting H: %w", err)
+	}
+	return &inversionSolver{inv: inv, c: opts.C}, nil
+}
+
+type inversionSolver struct {
+	inv *dense.Matrix
+	c   float64
+}
+
+func (s *inversionSolver) Query(q []float64) ([]float64, error) {
+	if len(q) != s.inv.R {
+		return nil, fmt.Errorf("rwr: starting vector length %d, want %d", len(q), s.inv.R)
+	}
+	r := s.inv.MulVec(q)
+	for i := range r {
+		r[i] *= s.c
+	}
+	return r, nil
+}
+
+func (s *inversionSolver) NNZ() int64 {
+	var nnz int64
+	for _, v := range s.inv.Data {
+		if v != 0 {
+			nnz++
+		}
+	}
+	return nnz
+}
+
+func (s *inversionSolver) Bytes() int64 {
+	return int64(len(s.inv.Data)) * 8
+}

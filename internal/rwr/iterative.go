@@ -1,0 +1,115 @@
+package rwr
+
+import (
+	"fmt"
+	"math"
+
+	"bear/internal/graph"
+	"bear/internal/sparse"
+)
+
+// Iterative is the power-iteration baseline: it repeats
+// r ← (1−c) Ãᵀ r + c q until the L1 change drops below Eps (Equation 3 of
+// the paper). It needs no preprocessing beyond holding the transition
+// matrix.
+type Iterative struct {
+	// Laplacian switches to the normalized-graph-Laplacian transition
+	// matrix, matching the corresponding BEAR variant.
+	Laplacian bool
+}
+
+// Name implements Method naming for the harness.
+func (Iterative) Name() string { return "iterative" }
+
+// Preprocess builds the transposed transition matrix.
+func (m Iterative) Preprocess(g *graph.Graph, opts Options) (Solver, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	var w *sparse.CSR
+	if m.Laplacian {
+		w = g.NormalizedLaplacian()
+	} else {
+		w = g.Normalized()
+	}
+	return &iterativeSolver{at: w.Transpose(), opts: opts}, nil
+}
+
+type iterativeSolver struct {
+	at   *sparse.CSR // Ãᵀ
+	opts Options
+}
+
+func (s *iterativeSolver) Query(q []float64) ([]float64, error) {
+	n := s.at.R
+	if len(q) != n {
+		return nil, fmt.Errorf("rwr: starting vector length %d, want %d", len(q), n)
+	}
+	c := s.opts.C
+	r := make([]float64, n)
+	copy(r, q)
+	next := make([]float64, n)
+	for it := 0; it < s.opts.MaxIters; it++ {
+		s.at.MulVecTo(next, r)
+		var diff float64
+		for i := range next {
+			next[i] = (1-c)*next[i] + c*q[i]
+			diff += math.Abs(next[i] - r[i])
+		}
+		r, next = next, r
+		if diff < s.opts.Eps {
+			return append([]float64(nil), r...), nil
+		}
+	}
+	return nil, fmt.Errorf("rwr: iterative method did not converge in %d iterations", s.opts.MaxIters)
+}
+
+// NNZ counts the transition-matrix entries; the paper treats the iterative
+// method as requiring no precomputed data, so harnesses typically exclude
+// it from space comparisons.
+func (s *iterativeSolver) NNZ() int64 { return int64(s.at.NNZ()) }
+
+func (s *iterativeSolver) Bytes() int64 { return s.at.Bytes() }
+
+// ExactSolver answers RWR queries by direct sparse LU of H; it is the
+// reference oracle tests and the harness compare every method against. Not
+// a paper method.
+type ExactSolver struct {
+	f *sparse.LUFactors
+	c float64
+	n int
+}
+
+// NewExactSolver factors H once for repeated exact solves.
+func NewExactSolver(g *graph.Graph, c float64) (*ExactSolver, error) {
+	f, err := sparse.LU(g.HMatrixCSC(c, false))
+	if err != nil {
+		return nil, err
+	}
+	return &ExactSolver{f: f, c: c, n: g.N()}, nil
+}
+
+// Solve returns the exact RWR vector for starting distribution q.
+func (s *ExactSolver) Solve(q []float64) ([]float64, error) {
+	if len(q) != s.n {
+		return nil, fmt.Errorf("rwr: starting vector length %d, want %d", len(q), s.n)
+	}
+	r := make([]float64, len(q))
+	for i, v := range q {
+		r[i] = s.c * v
+	}
+	if err := s.f.Solve(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Exact solves the system directly with a one-shot sparse LU of H.
+func Exact(g *graph.Graph, c float64, q []float64) ([]float64, error) {
+	s, err := NewExactSolver(g, c)
+	if err != nil {
+		return nil, err
+	}
+	return s.Solve(q)
+}

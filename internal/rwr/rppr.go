@@ -1,0 +1,184 @@
+package rwr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bear/internal/graph"
+	"bear/internal/sparse"
+)
+
+// RPPR is restricted personalized PageRank (Gleich & Polito): the iterative
+// update runs only over a growing subgraph around the seed; a boundary node
+// whose current score exceeds EpsB (Options.EpsB) has its out-neighbors
+// pulled into the subgraph. Scores of nodes never reached stay zero, so the
+// method is approximate.
+type RPPR struct{}
+
+// Name implements Method naming for the harness.
+func (RPPR) Name() string { return "rppr" }
+
+// Preprocess stores the row-normalized adjacency; RPPR is a query-time
+// method with no real preprocessing.
+func (RPPR) Preprocess(g *graph.Graph, opts Options) (Solver, error) {
+	return newLocalSolver(g, opts, false)
+}
+
+// BRPPR is boundary-restricted personalized PageRank: instead of a fixed
+// per-node threshold it expands boundary nodes in decreasing score order
+// until the total boundary score falls below EpsB.
+type BRPPR struct{}
+
+// Name implements Method naming for the harness.
+func (BRPPR) Name() string { return "brppr" }
+
+// Preprocess stores the row-normalized adjacency.
+func (BRPPR) Preprocess(g *graph.Graph, opts Options) (Solver, error) {
+	return newLocalSolver(g, opts, true)
+}
+
+func newLocalSolver(g *graph.Graph, opts Options, boundaryMode bool) (Solver, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	return &localSolver{a: g.Normalized(), opts: opts, boundaryMode: boundaryMode}, nil
+}
+
+type localSolver struct {
+	a            *sparse.CSR // row-normalized Ã (out-edges)
+	opts         Options
+	boundaryMode bool // false: RPPR, true: BRPPR
+}
+
+func (s *localSolver) Query(q []float64) ([]float64, error) {
+	n := s.a.R
+	if len(q) != n {
+		return nil, fmt.Errorf("rwr: starting vector length %d, want %d", len(q), n)
+	}
+	c := s.opts.C
+
+	inSub := make([]bool, n)    // node participates in the restricted system
+	expanded := make([]bool, n) // node's out-edges have been admitted
+	var members []int           // nodes currently in the subgraph
+	admit := func(u int) {
+		if !inSub[u] {
+			inSub[u] = true
+			members = append(members, u)
+		}
+	}
+	// Seed the subgraph with the support of q.
+	for u, v := range q {
+		if v > 0 {
+			admit(u)
+		}
+	}
+
+	x := make([]float64, n)
+	next := make([]float64, n)
+	for u, v := range q {
+		x[u] = c * v
+	}
+
+	expandFrom := func(u int) {
+		expanded[u] = true
+		dst, _ := s.a.Row(u)
+		for _, v := range dst {
+			admit(v)
+		}
+	}
+
+	for it := 0; it < s.opts.MaxIters; it++ {
+		// One restricted power iteration: next = (1−c) Ãᵀ|sub x + c q.
+		for _, u := range members {
+			next[u] = c * q[u]
+		}
+		for _, u := range members {
+			xu := x[u]
+			if xu == 0 || !expanded[u] {
+				// Out-edges of unexpanded (boundary) nodes are not part of
+				// the restricted system; their mass stays put, which is the
+				// approximation both methods make.
+				continue
+			}
+			lo, hi := s.a.RowPtr[u], s.a.RowPtr[u+1]
+			for k := lo; k < hi; k++ {
+				next[s.a.ColIdx[k]] += (1 - c) * s.a.Val[k] * xu
+			}
+		}
+		var diff float64
+		for _, u := range members {
+			diff += math.Abs(next[u] - x[u])
+			x[u] = next[u]
+		}
+
+		grew := s.expand(x, expanded, expandFrom)
+		if !grew && diff < s.opts.Eps {
+			break
+		}
+	}
+	out := make([]float64, n)
+	for _, u := range members {
+		out[u] = x[u]
+	}
+	return out, nil
+}
+
+// expand admits new nodes according to the method's rule, returning whether
+// the subgraph grew. x holds current scores, expanded the per-query
+// expansion state; expandFrom marks a node expanded and admits its
+// out-neighbors.
+func (s *localSolver) expand(x []float64, expanded []bool, expandFrom func(int)) bool {
+	var boundary []int
+	for u := range x {
+		if x[u] > 0 && !expanded[u] {
+			boundary = append(boundary, u)
+		}
+	}
+	if len(boundary) == 0 {
+		return false
+	}
+	if !s.boundaryMode {
+		// RPPR: expand every boundary node whose score exceeds ε_b.
+		grew := false
+		for _, u := range boundary {
+			if x[u] > s.opts.EpsB {
+				expandFrom(u)
+				grew = true
+			}
+		}
+		return grew
+	}
+	// BRPPR: expand in decreasing score order until the boundary's total
+	// score drops below ε_b.
+	var total float64
+	for _, u := range boundary {
+		total += x[u]
+	}
+	if total < s.opts.EpsB {
+		return false
+	}
+	sort.Slice(boundary, func(i, j int) bool {
+		if x[boundary[i]] != x[boundary[j]] {
+			return x[boundary[i]] > x[boundary[j]]
+		}
+		return boundary[i] < boundary[j]
+	})
+	grew := false
+	for _, u := range boundary {
+		if total < s.opts.EpsB {
+			break
+		}
+		total -= x[u]
+		expandFrom(u)
+		grew = true
+	}
+	return grew
+}
+
+// NNZ counts the transition-matrix entries; RPPR/BRPPR hold no precomputed
+// data beyond the graph itself.
+func (s *localSolver) NNZ() int64 { return int64(s.a.NNZ()) }
+
+func (s *localSolver) Bytes() int64 { return s.a.Bytes() }

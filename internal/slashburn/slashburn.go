@@ -1,0 +1,211 @@
+// Package slashburn implements the SlashBurn node-reordering algorithm of
+// Kang and Faloutsos (ICDM 2011), which BEAR uses to expose a large
+// block-diagonal submatrix: repeatedly remove the k highest-degree nodes
+// (hubs), peel off the connected components that detach from the giant
+// connected component (spokes), and recurse on the GCC until it shrinks
+// below k.
+package slashburn
+
+import (
+	"fmt"
+	"sort"
+
+	"bear/internal/graph"
+)
+
+// Result describes a SlashBurn ordering. In the new order, spoke nodes
+// occupy positions [0, n-NumHubs) grouped into connected-component blocks
+// (each block internally sorted by ascending within-component degree, as
+// BEAR requires), and hubs occupy the final NumHubs positions.
+type Result struct {
+	Perm       []int // Perm[old] = new position
+	InvPerm    []int // InvPerm[new] = old id
+	NumHubs    int   // n₂
+	Blocks     []int // sizes of the diagonal blocks of H₁₁, in order
+	Iterations int   // number of hub-removal waves (T)
+}
+
+// SumSqBlocks returns Σ n₁ᵢ², the quantity the paper's complexity analysis
+// (and Table 4) is expressed in.
+func (r *Result) SumSqBlocks() int64 {
+	var s int64
+	for _, b := range r.Blocks {
+		s += int64(b) * int64(b)
+	}
+	return s
+}
+
+// Run executes SlashBurn with wave size k (the paper uses k = 0.001·n,
+// clamped to at least 1). The graph is viewed as undirected.
+func Run(g *graph.Graph, k int) *Result {
+	n := g.N()
+	if k <= 0 {
+		panic(fmt.Sprintf("slashburn: wave size k=%d must be positive", k))
+	}
+	adj := g.UndirectedNeighbors()
+
+	active := make([]bool, n) // nodes still in the working (GCC) set
+	working := make([]int, n) // current working set, as a slice
+	for i := range working {
+		active[i] = true
+		working[i] = i
+	}
+
+	var hubs []int
+	var blockNodes [][]int // each block: nodes sorted by in-block degree asc
+	deg := make([]int, n)  // degree within the active set, recomputed per wave
+	iterations := 0
+
+	activeDegree := func(u int) int {
+		d := 0
+		for _, v := range adj[u] {
+			if active[v] {
+				d++
+			}
+		}
+		return d
+	}
+
+	// flushComponents labels the connected components of the current active
+	// set, appends every component except the one with label keep (pass -1
+	// to flush all) as a spoke block, and returns the remaining working set.
+	flushComponents := func(keep int, labels []int) []int {
+		byComp := map[int][]int{}
+		for _, u := range working {
+			byComp[labels[u]] = append(byComp[labels[u]], u)
+		}
+		compIDs := make([]int, 0, len(byComp))
+		for id := range byComp {
+			compIDs = append(compIDs, id)
+		}
+		sort.Ints(compIDs)
+		var next []int
+		for _, id := range compIDs {
+			nodes := byComp[id]
+			if id == keep {
+				next = nodes
+				continue
+			}
+			for _, u := range nodes {
+				deg[u] = activeDegree(u)
+			}
+			sort.Slice(nodes, func(a, b int) bool {
+				if deg[nodes[a]] != deg[nodes[b]] {
+					return deg[nodes[a]] < deg[nodes[b]]
+				}
+				return nodes[a] < nodes[b]
+			})
+			blockNodes = append(blockNodes, nodes)
+			for _, u := range nodes {
+				active[u] = false
+			}
+		}
+		return next
+	}
+
+	for len(working) > 0 {
+		if len(working) <= k {
+			// Terminal wave: the remaining GCC splits into spoke blocks.
+			labels := labelActive(n, adj, active)
+			working = flushComponents(-1, labels)
+			break
+		}
+		iterations++
+		// Remove the k highest-degree nodes of the working set as hubs.
+		for _, u := range working {
+			deg[u] = activeDegree(u)
+		}
+		cand := append([]int(nil), working...)
+		sort.Slice(cand, func(a, b int) bool {
+			if deg[cand[a]] != deg[cand[b]] {
+				return deg[cand[a]] > deg[cand[b]]
+			}
+			return cand[a] < cand[b]
+		})
+		for _, u := range cand[:k] {
+			hubs = append(hubs, u)
+			active[u] = false
+		}
+		rest := cand[k:]
+		if len(rest) == 0 {
+			working = nil
+			break
+		}
+		// Find the GCC among the remaining components; flush the rest.
+		labels := labelActive(n, adj, active)
+		counts := map[int]int{}
+		for _, u := range rest {
+			counts[labels[u]]++
+		}
+		gcc, best := -1, -1
+		ids := make([]int, 0, len(counts))
+		for id := range counts {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			if counts[id] > best {
+				best, gcc = counts[id], id
+			}
+		}
+		working = rest
+		working = flushComponents(gcc, labels)
+	}
+
+	// Assemble the permutation: spoke blocks first, hubs last (in removal
+	// order; BEAR re-sorts hubs by their degree in S later).
+	res := &Result{
+		Perm:       make([]int, n),
+		InvPerm:    make([]int, n),
+		NumHubs:    len(hubs),
+		Iterations: iterations,
+	}
+	pos := 0
+	for _, nodes := range blockNodes {
+		res.Blocks = append(res.Blocks, len(nodes))
+		for _, u := range nodes {
+			res.Perm[u] = pos
+			res.InvPerm[pos] = u
+			pos++
+		}
+	}
+	for _, u := range hubs {
+		res.Perm[u] = pos
+		res.InvPerm[pos] = u
+		pos++
+	}
+	if pos != n {
+		panic(fmt.Sprintf("slashburn: assembled %d of %d nodes", pos, n))
+	}
+	return res
+}
+
+// labelActive labels connected components among active nodes; inactive
+// nodes get label -1.
+func labelActive(n int, adj [][]int, active []bool) []int {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	count := 0
+	var queue []int
+	for s := 0; s < n; s++ {
+		if !active[s] || labels[s] >= 0 {
+			continue
+		}
+		labels[s] = count
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if active[v] && labels[v] < 0 {
+					labels[v] = count
+					queue = append(queue, v)
+				}
+			}
+		}
+		count++
+	}
+	return labels
+}

@@ -1,0 +1,219 @@
+package slashburn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bear/internal/graph"
+	"bear/internal/graph/gen"
+)
+
+func checkResult(t *testing.T, g *graph.Graph, r *Result) {
+	t.Helper()
+	n := g.N()
+	// Perm and InvPerm are mutually inverse permutations.
+	seen := make([]bool, n)
+	for node, pos := range r.Perm {
+		if pos < 0 || pos >= n || seen[pos] {
+			t.Fatalf("Perm not a permutation at node %d", node)
+		}
+		seen[pos] = true
+		if r.InvPerm[pos] != node {
+			t.Fatalf("InvPerm inconsistent at %d", pos)
+		}
+	}
+	// Block sizes cover exactly the spoke region.
+	total := 0
+	for _, b := range r.Blocks {
+		if b <= 0 {
+			t.Fatalf("non-positive block size %d", b)
+		}
+		total += b
+	}
+	if total+r.NumHubs != n {
+		t.Fatalf("blocks (%d) + hubs (%d) != n (%d)", total, r.NumHubs, n)
+	}
+	// Key invariant: distinct spoke blocks are mutually disconnected once
+	// hubs are removed — no edge may join two different blocks.
+	blockOf := make([]int, n) // -1 for hubs
+	for i := range blockOf {
+		blockOf[i] = -1
+	}
+	pos := 0
+	for bi, sz := range r.Blocks {
+		for k := 0; k < sz; k++ {
+			blockOf[r.InvPerm[pos]] = bi
+			pos++
+		}
+	}
+	for u := 0; u < n; u++ {
+		if blockOf[u] < 0 {
+			continue
+		}
+		dst, _ := g.Out(u)
+		for _, v := range dst {
+			if blockOf[v] >= 0 && blockOf[v] != blockOf[u] {
+				t.Fatalf("edge %d-%d joins spoke blocks %d and %d",
+					u, v, blockOf[u], blockOf[v])
+			}
+		}
+	}
+}
+
+func TestRunOnGenerators(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"ba":      gen.BarabasiAlbert(400, 2, 1),
+		"rmat":    gen.RMAT(gen.NewRMATPul(512, 2500, 0.7, 2)),
+		"er":      gen.ErdosRenyi(300, 900, 3),
+		"caveman": gen.CavemanHubs(gen.CavemanHubsConfig{Communities: 10, Size: 20, PIntra: 0.3, Hubs: 8, HubDeg: 25, Seed: 4}),
+		"star":    gen.StarMail(gen.StarMailConfig{Core: 8, Periphery: 300, LeafDeg: 1, PCore: 0.5, Seed: 5}),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			for _, k := range []int{1, 3, 10} {
+				r := Run(g, k)
+				checkResult(t, g, r)
+			}
+		})
+	}
+}
+
+func TestHubsAreHighDegree(t *testing.T) {
+	// On a star-with-core graph, the first removed hubs must be core nodes.
+	g := gen.StarMail(gen.StarMailConfig{Core: 5, Periphery: 200, LeafDeg: 1, PCore: 1, Seed: 6})
+	r := Run(g, 1)
+	if r.NumHubs == 0 {
+		t.Fatal("no hubs found")
+	}
+	first := r.InvPerm[g.N()-r.NumHubs] // hub removed first sits at position n1
+	if first >= 5 {
+		t.Fatalf("first hub is leaf %d, want a core node", first)
+	}
+}
+
+func TestBlocksOrderedByDegreeAscending(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 2, 7)
+	r := Run(g, 3)
+	// Within each block, SlashBurn orders nodes by ascending degree inside
+	// the component. Verify monotone in-block degree order using degrees in
+	// the block's induced subgraph.
+	n := g.N()
+	blockOf := make([]int, n)
+	for i := range blockOf {
+		blockOf[i] = -1
+	}
+	pos := 0
+	for bi, sz := range r.Blocks {
+		for k := 0; k < sz; k++ {
+			blockOf[r.InvPerm[pos]] = bi
+			pos++
+		}
+	}
+	adj := g.UndirectedNeighbors()
+	inBlockDeg := func(u int) int {
+		d := 0
+		for _, v := range adj[u] {
+			if blockOf[v] == blockOf[u] {
+				d++
+			}
+		}
+		return d
+	}
+	pos = 0
+	for _, sz := range r.Blocks {
+		prev := -1
+		for k := 0; k < sz; k++ {
+			d := inBlockDeg(r.InvPerm[pos])
+			if d < prev {
+				t.Fatalf("block degree order violated at position %d: %d < %d", pos, d, prev)
+			}
+			prev = d
+			pos++
+		}
+	}
+}
+
+func TestDisconnectedInput(t *testing.T) {
+	b := graph.NewBuilder(20)
+	// Two components, one larger.
+	for i := 0; i < 11; i++ {
+		b.AddUndirected(i, (i+1)%12, 1)
+	}
+	for i := 13; i < 19; i++ {
+		b.AddUndirected(i, i+1, 1)
+	}
+	g := b.Build()
+	r := Run(g, 2)
+	checkResult(t, g, r)
+}
+
+func TestSingletonGraph(t *testing.T) {
+	g := graph.NewBuilder(1).Build()
+	r := Run(g, 1)
+	checkResult(t, g, r)
+	if r.NumHubs != 0 || len(r.Blocks) != 1 || r.Blocks[0] != 1 {
+		t.Fatalf("singleton: hubs=%d blocks=%v", r.NumHubs, r.Blocks)
+	}
+}
+
+func TestPanicsOnBadK(t *testing.T) {
+	g := graph.NewBuilder(3).Build()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=0")
+		}
+	}()
+	Run(g, 0)
+}
+
+func TestDeterministic(t *testing.T) {
+	g := gen.RMAT(gen.NewRMATPul(256, 1200, 0.6, 9))
+	a := Run(g, 3)
+	b := Run(g, 3)
+	for i := range a.Perm {
+		if a.Perm[i] != b.Perm[i] {
+			t.Fatal("SlashBurn not deterministic")
+		}
+	}
+}
+
+func TestSumSqBlocks(t *testing.T) {
+	r := &Result{Blocks: []int{3, 4}}
+	if got := r.SumSqBlocks(); got != 25 {
+		t.Fatalf("SumSqBlocks = %d, want 25", got)
+	}
+}
+
+// Property: on random graphs the result is always structurally valid.
+func TestQuickValidOnRandomGraphs(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(120)
+		b := graph.NewBuilder(n)
+		m := n * (1 + rng.Intn(4))
+		for e := 0; e < m; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			b.AddEdge(u, v, 1)
+		}
+		g := b.Build()
+		k := 1 + int(kRaw)%10
+		r := Run(g, k)
+		// Reuse the checker via a throwaway T: replicate its core checks.
+		seen := make([]bool, n)
+		for _, pos := range r.Perm {
+			if pos < 0 || pos >= n || seen[pos] {
+				return false
+			}
+			seen[pos] = true
+		}
+		total := 0
+		for _, bsz := range r.Blocks {
+			total += bsz
+		}
+		return total+r.NumHubs == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

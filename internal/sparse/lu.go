@@ -1,0 +1,86 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LUFactors holds a sparse factorization A = L U with L unit lower
+// triangular (unit diagonal stored explicitly) and U upper triangular, both
+// in CSC form with sorted row indices.
+type LUFactors struct {
+	L *CSC
+	U *CSC
+}
+
+// LU computes the sparse LU factorization of a square CSC matrix without
+// pivoting using the Gilbert–Peierls left-looking algorithm. The caller
+// must guarantee factorizability without pivoting; the RWR matrix
+// H = I − (1−c)Ãᵀ is strictly column diagonally dominant for 0 < c < 1, so
+// this always succeeds for H and any of its principal submatrices. A zero
+// pivot is reported as an error.
+func LU(a *CSC) (*LUFactors, error) {
+	if a.R != a.C {
+		panic(fmt.Sprintf("sparse: LU requires a square matrix, got %dx%d", a.R, a.C))
+	}
+	n := a.C
+	l := &CSC{R: n, C: n, ColPtr: make([]int, n+1)}
+	u := &CSC{R: n, C: n, ColPtr: make([]int, n+1)}
+	w := newTriWorkspace(n)
+	var pattern []int
+	for j := 0; j < n; j++ {
+		bRows := a.RowIdx[a.ColPtr[j]:a.ColPtr[j+1]]
+		bVals := a.Val[a.ColPtr[j]:a.ColPtr[j+1]]
+		// Solve L[:, :j] x = A[:, j] over the partial unit-lower factor.
+		topo, err := solveSparseRHS(l, bRows, bVals, true, w, j)
+		if err != nil {
+			return nil, err
+		}
+		pattern = append(pattern[:0], topo...)
+		sort.Ints(pattern)
+		var pivot float64
+		pivotSeen := false
+		for _, i := range pattern {
+			v := w.x[i]
+			switch {
+			case i < j:
+				if v != 0 {
+					u.RowIdx = append(u.RowIdx, i)
+					u.Val = append(u.Val, v)
+				}
+			case i == j:
+				pivot = v
+				pivotSeen = true
+			}
+		}
+		if !pivotSeen || pivot == 0 {
+			return nil, fmt.Errorf("sparse: zero pivot at column %d", j)
+		}
+		u.RowIdx = append(u.RowIdx, j)
+		u.Val = append(u.Val, pivot)
+		u.ColPtr[j+1] = len(u.RowIdx)
+		l.RowIdx = append(l.RowIdx, j)
+		l.Val = append(l.Val, 1)
+		for _, i := range pattern {
+			if i > j {
+				if v := w.x[i]; v != 0 {
+					l.RowIdx = append(l.RowIdx, i)
+					l.Val = append(l.Val, v/pivot)
+				}
+			}
+		}
+		l.ColPtr[j+1] = len(l.RowIdx)
+	}
+	return &LUFactors{L: l, U: u}, nil
+}
+
+// Solve solves A x = b given the factorization, overwriting b with x.
+func (f *LUFactors) Solve(b []float64) error {
+	if err := SolveLower(f.L, b, true); err != nil {
+		return err
+	}
+	return SolveUpper(f.U, b)
+}
+
+// NNZ reports the combined number of stored entries in L and U.
+func (f *LUFactors) NNZ() int { return f.L.NNZ() + f.U.NNZ() }

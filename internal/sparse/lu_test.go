@@ -1,0 +1,165 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomDiagDominant builds a random strictly column diagonally dominant
+// matrix, the class sparse LU must handle without pivoting (it contains the
+// RWR matrix H).
+func randomDiagDominant(rng *rand.Rand, n int, density float64) *CSC {
+	var coords []Coord
+	colSum := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < density {
+				v := rng.NormFloat64() * 0.5
+				coords = append(coords, Coord{Row: i, Col: j, Val: v})
+				colSum[j] += math.Abs(v)
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		coords = append(coords, Coord{Row: j, Col: j, Val: colSum[j] + 1 + rng.Float64()})
+	}
+	return NewCSC(n, n, coords)
+}
+
+func TestLUReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(25)
+		a := randomDiagDominant(rng, n, 0.25)
+		f, err := LU(a)
+		if err != nil {
+			t.Fatalf("LU: %v", err)
+		}
+		prod := Mul(f.L.ToCSR(), f.U.ToCSR()).Dense()
+		densesEqual(t, prod, a.ToCSR().Dense(), 1e-9, "L U vs A")
+	}
+}
+
+func TestLUTriangularShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	a := randomDiagDominant(rng, 15, 0.3)
+	f, err := LU(a)
+	if err != nil {
+		t.Fatalf("LU: %v", err)
+	}
+	for _, co := range f.L.Coords() {
+		if co.Row < co.Col {
+			t.Fatalf("L has superdiagonal entry (%d,%d)", co.Row, co.Col)
+		}
+		if co.Row == co.Col && co.Val != 1 {
+			t.Fatalf("L diagonal (%d,%d) = %g, want 1", co.Row, co.Col, co.Val)
+		}
+	}
+	for _, co := range f.U.Coords() {
+		if co.Row > co.Col {
+			t.Fatalf("U has subdiagonal entry (%d,%d)", co.Row, co.Col)
+		}
+	}
+}
+
+func TestLUSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(30)
+		a := randomDiagDominant(rng, n, 0.25)
+		f, err := LU(a)
+		if err != nil {
+			t.Fatalf("LU: %v", err)
+		}
+		x := randomVec(rng, n)
+		b := a.ToCSR().MulVec(x)
+		if err := f.Solve(b); err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		densesEqual(t, b, x, 1e-8, "LU solve")
+	}
+}
+
+func TestLUZeroPivot(t *testing.T) {
+	// Structurally singular: column 1 is empty.
+	a := NewCSC(2, 2, []Coord{{0, 0, 1}})
+	if _, err := LU(a); err == nil {
+		t.Fatal("expected zero-pivot error")
+	}
+}
+
+func TestLUBlockDiagonalPreservesStructure(t *testing.T) {
+	// Lemma 1: LU of a block-diagonal matrix is block diagonal.
+	rng := rand.New(rand.NewSource(43))
+	sizes := []int{5, 8, 4}
+	var blocks []*CSR
+	for _, sz := range sizes {
+		blocks = append(blocks, randomDiagDominant(rng, sz, 0.4).ToCSR())
+	}
+	a := BlockDiag(blocks).ToCSC()
+	f, err := LU(a)
+	if err != nil {
+		t.Fatalf("LU: %v", err)
+	}
+	off, bounds := 0, []int{0}
+	for _, sz := range sizes {
+		off += sz
+		bounds = append(bounds, off)
+	}
+	blockOf := func(i int) int {
+		for b := 0; b+1 < len(bounds); b++ {
+			if i >= bounds[b] && i < bounds[b+1] {
+				return b
+			}
+		}
+		return -1
+	}
+	for _, m := range []*CSC{f.L, f.U} {
+		for _, co := range m.Coords() {
+			if blockOf(co.Row) != blockOf(co.Col) {
+				t.Fatalf("factor entry (%d,%d) crosses blocks", co.Row, co.Col)
+			}
+		}
+	}
+}
+
+func TestLUNNZ(t *testing.T) {
+	a := IdentityCSC(5)
+	f, err := LU(a)
+	if err != nil {
+		t.Fatalf("LU: %v", err)
+	}
+	if f.NNZ() != 10 { // 5 unit diagonal in L + 5 diagonal in U
+		t.Fatalf("NNZ = %d, want 10", f.NNZ())
+	}
+}
+
+// Property: LU solve inverts MulVec on diagonally dominant systems.
+func TestQuickLUSolveRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	f := func(seed int64) bool {
+		lr := rand.New(rand.NewSource(seed))
+		n := 1 + lr.Intn(20)
+		a := randomDiagDominant(rng, n, 0.3)
+		fac, err := LU(a)
+		if err != nil {
+			return false
+		}
+		x := randomVec(rng, n)
+		b := a.ToCSR().MulVec(x)
+		if err := fac.Solve(b); err != nil {
+			return false
+		}
+		for i := range b {
+			if math.Abs(b[i]-x[i]) > 1e-7*(1+math.Abs(x[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package sparse
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParallelMulMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(130))
+	for trial := 0; trial < 15; trial++ {
+		p, q, r := 1+rng.Intn(40), 1+rng.Intn(40), 1+rng.Intn(40)
+		a := randomCSR(rng, p, q, 0.25)
+		b := randomCSR(rng, q, r, 0.25)
+		want := Mul(a, b)
+		for _, workers := range []int{0, 1, 2, 7, 100} {
+			got := ParallelMul(a, b, workers)
+			if !reflect.DeepEqual(got.RowPtr, want.RowPtr) ||
+				!reflect.DeepEqual(got.ColIdx, want.ColIdx) ||
+				!reflect.DeepEqual(got.Val, want.Val) {
+				t.Fatalf("trial %d workers=%d: ParallelMul differs from Mul", trial, workers)
+			}
+		}
+	}
+}
+
+func TestParallelMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on inner-dimension mismatch")
+		}
+	}()
+	ParallelMul(Identity(3), Identity(4), 2)
+}
+
+func TestBlockDiagLUInverseMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	sizes := []int{7, 13, 1, 22, 5}
+	var blocks []*CSR
+	for _, sz := range sizes {
+		blocks = append(blocks, randomDiagDominant(rng, sz, 0.3).ToCSR())
+	}
+	a := BlockDiag(blocks).ToCSC()
+
+	f, err := LU(a)
+	if err != nil {
+		t.Fatalf("LU: %v", err)
+	}
+	wantL, err := InverseLower(f.L, true)
+	if err != nil {
+		t.Fatalf("InverseLower: %v", err)
+	}
+	wantU, err := InverseUpper(f.U)
+	if err != nil {
+		t.Fatalf("InverseUpper: %v", err)
+	}
+	for _, workers := range []int{1, 3, 16} {
+		gotL, gotU, err := BlockDiagLUInverse(a, sizes, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(gotL.Dense(), wantL.ToCSR().Dense()) {
+			t.Fatalf("workers=%d: L inverse differs", workers)
+		}
+		if !reflect.DeepEqual(gotU.Dense(), wantU.ToCSR().Dense()) {
+			t.Fatalf("workers=%d: U inverse differs", workers)
+		}
+	}
+}
+
+func TestBlockDiagLUInversePanicsOnBadBlocks(t *testing.T) {
+	a := IdentityCSC(5)
+	for name, blocks := range map[string][]int{
+		"wrong sum":   {2, 2},
+		"nonpositive": {5, 0},
+		"negative":    {6, -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			BlockDiagLUInverse(a, blocks, 2)
+		}()
+	}
+}
+
+func TestBlockDiagLUInverseSingularBlock(t *testing.T) {
+	// Second block has an empty column: structurally singular.
+	good := NewCSR(2, 2, []Coord{{0, 0, 2}, {1, 1, 2}})
+	bad := NewCSR(2, 2, []Coord{{0, 0, 1}})
+	a := BlockDiag([]*CSR{good, bad}).ToCSC()
+	if _, _, err := BlockDiagLUInverse(a, []int{2, 2}, 2); err == nil {
+		t.Fatal("expected singular-block error")
+	}
+}
+
+// Property: ParallelMul is exactly Mul for random shapes and worker counts.
+func TestQuickParallelMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(132))
+	f := func(seed int64, w uint8) bool {
+		lr := rand.New(rand.NewSource(seed))
+		p, q, r := 1+lr.Intn(25), 1+lr.Intn(25), 1+lr.Intn(25)
+		a := randomCSR(rng, p, q, 0.3)
+		b := randomCSR(rng, q, r, 0.3)
+		got := ParallelMul(a, b, 1+int(w)%8)
+		want := Mul(a, b)
+		return reflect.DeepEqual(got.Val, want.Val) &&
+			reflect.DeepEqual(got.ColIdx, want.ColIdx) &&
+			reflect.DeepEqual(got.RowPtr, want.RowPtr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

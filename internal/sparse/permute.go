@@ -1,0 +1,103 @@
+package sparse
+
+import "fmt"
+
+// CheckPermutation panics unless p is a permutation of 0..n-1.
+func CheckPermutation(p []int) {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			panic(fmt.Sprintf("sparse: invalid permutation (value %d)", v))
+		}
+		seen[v] = true
+	}
+}
+
+// InvertPermutation returns q with q[p[i]] = i.
+func InvertPermutation(p []int) []int {
+	q := make([]int, len(p))
+	for i, v := range p {
+		q[v] = i
+	}
+	return q
+}
+
+// Permute returns B with B[rp[i], cp[j]] = A[i, j]; that is, rp and cp map
+// old indices to new positions. Pass nil to leave an axis unpermuted.
+func (m *CSR) Permute(rp, cp []int) *CSR {
+	if rp != nil && len(rp) != m.R {
+		panic(fmt.Sprintf("sparse: row permutation length %d for %d rows", len(rp), m.R))
+	}
+	if cp != nil && len(cp) != m.C {
+		panic(fmt.Sprintf("sparse: col permutation length %d for %d cols", len(cp), m.C))
+	}
+	coords := m.Coords()
+	for i := range coords {
+		if rp != nil {
+			coords[i].Row = rp[coords[i].Row]
+		}
+		if cp != nil {
+			coords[i].Col = cp[coords[i].Col]
+		}
+	}
+	return NewCSR(m.R, m.C, coords)
+}
+
+// Permute returns B with B[rp[i], cp[j]] = A[i, j] in CSC form.
+func (m *CSC) Permute(rp, cp []int) *CSC {
+	t := &CSR{R: m.C, C: m.R, RowPtr: m.ColPtr, ColIdx: m.RowIdx, Val: m.Val}
+	pt := t.Permute(cp, rp)
+	return &CSC{R: m.R, C: m.C, ColPtr: pt.RowPtr, RowIdx: pt.ColIdx, Val: pt.Val}
+}
+
+// Submatrix extracts the block A[r0:r1, c0:c1) as a new CSR matrix.
+func (m *CSR) Submatrix(r0, r1, c0, c1 int) *CSR {
+	if r0 < 0 || r1 > m.R || c0 < 0 || c1 > m.C || r0 > r1 || c0 > c1 {
+		panic(fmt.Sprintf("sparse: bad submatrix [%d:%d, %d:%d) of %dx%d", r0, r1, c0, c1, m.R, m.C))
+	}
+	out := &CSR{R: r1 - r0, C: c1 - c0, RowPtr: make([]int, r1-r0+1)}
+	for i := r0; i < r1; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			j := m.ColIdx[k]
+			if j >= c0 && j < c1 {
+				out.ColIdx = append(out.ColIdx, j-c0)
+				out.Val = append(out.Val, m.Val[k])
+			}
+		}
+		out.RowPtr[i-r0+1] = len(out.ColIdx)
+	}
+	return out
+}
+
+// Submatrix extracts the block A[r0:r1, c0:c1) as a new CSC matrix.
+func (m *CSC) Submatrix(r0, r1, c0, c1 int) *CSC {
+	t := &CSR{R: m.C, C: m.R, RowPtr: m.ColPtr, ColIdx: m.RowIdx, Val: m.Val}
+	sub := t.Submatrix(c0, c1, r0, r1)
+	return &CSC{R: r1 - r0, C: c1 - c0, ColPtr: sub.RowPtr, RowIdx: sub.ColIdx, Val: sub.Val}
+}
+
+// BlockDiag assembles a block-diagonal CSR matrix from square blocks.
+func BlockDiag(blocks []*CSR) *CSR {
+	n := 0
+	nnz := 0
+	for _, b := range blocks {
+		if b.R != b.C {
+			panic("sparse: BlockDiag requires square blocks")
+		}
+		n += b.R
+		nnz += b.NNZ()
+	}
+	out := &CSR{R: n, C: n, RowPtr: make([]int, n+1), ColIdx: make([]int, 0, nnz), Val: make([]float64, 0, nnz)}
+	off := 0
+	for _, b := range blocks {
+		for i := 0; i < b.R; i++ {
+			for k := b.RowPtr[i]; k < b.RowPtr[i+1]; k++ {
+				out.ColIdx = append(out.ColIdx, b.ColIdx[k]+off)
+				out.Val = append(out.Val, b.Val[k])
+			}
+			out.RowPtr[off+i+1] = len(out.ColIdx)
+		}
+		off += b.R
+	}
+	return out
+}

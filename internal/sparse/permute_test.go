@@ -1,0 +1,159 @@
+package sparse
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInvertPermutation(t *testing.T) {
+	p := []int{2, 0, 3, 1}
+	q := InvertPermutation(p)
+	for i := range p {
+		if q[p[i]] != i {
+			t.Fatalf("inverse wrong at %d", i)
+		}
+	}
+}
+
+func TestCheckPermutationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for duplicate entries")
+		}
+	}()
+	CheckPermutation([]int{0, 0, 1})
+}
+
+func TestPermuteEntries(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(12)
+		m := randomCSR(rng, n, n, 0.3)
+		rp := rng.Perm(n)
+		cp := rng.Perm(n)
+		pm := m.Permute(rp, cp)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if pm.At(rp[i], cp[j]) != m.At(i, j) {
+					t.Fatalf("Permute wrong at (%d,%d)", i, j)
+				}
+			}
+		}
+		// nil leaves an axis unpermuted.
+		rowOnly := m.Permute(rp, nil)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rowOnly.At(rp[i], j) != m.At(i, j) {
+					t.Fatalf("row-only Permute wrong at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestPermuteCSCMatchesCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	n := 10
+	m := randomCSR(rng, n, n, 0.3)
+	rp, cp := rng.Perm(n), rng.Perm(n)
+	a := m.Permute(rp, cp).Dense()
+	b := m.ToCSC().Permute(rp, cp).Dense()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("CSC Permute disagrees with CSR Permute")
+	}
+}
+
+func TestPermuteInverseRestores(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	n := 12
+	m := randomCSR(rng, n, n, 0.3)
+	p := rng.Perm(n)
+	inv := InvertPermutation(p)
+	back := m.Permute(p, p).Permute(inv, inv)
+	if !reflect.DeepEqual(m.Dense(), back.Dense()) {
+		t.Fatal("permute then inverse-permute changed matrix")
+	}
+}
+
+func TestSubmatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	m := randomCSR(rng, 10, 12, 0.3)
+	sub := m.Submatrix(2, 7, 3, 11)
+	if sub.R != 5 || sub.C != 8 {
+		t.Fatalf("submatrix shape %dx%d", sub.R, sub.C)
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 8; j++ {
+			if sub.At(i, j) != m.At(i+2, j+3) {
+				t.Fatalf("submatrix wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+	subc := m.ToCSC().Submatrix(2, 7, 3, 11)
+	if !reflect.DeepEqual(sub.Dense(), subc.Dense()) {
+		t.Fatal("CSC Submatrix disagrees with CSR Submatrix")
+	}
+}
+
+func TestSubmatrixEmpty(t *testing.T) {
+	m := Identity(4)
+	sub := m.Submatrix(2, 2, 0, 4)
+	if sub.R != 0 || sub.C != 4 || sub.NNZ() != 0 {
+		t.Fatalf("empty submatrix: %dx%d nnz=%d", sub.R, sub.C, sub.NNZ())
+	}
+}
+
+func TestBlockDiag(t *testing.T) {
+	a := NewCSR(2, 2, []Coord{{0, 1, 3}, {1, 0, 4}})
+	b := NewCSR(3, 3, []Coord{{0, 2, 5}, {2, 2, 6}})
+	bd := BlockDiag([]*CSR{a, b})
+	if bd.R != 5 || bd.C != 5 {
+		t.Fatalf("blockdiag shape %dx%d", bd.R, bd.C)
+	}
+	checks := map[[2]int]float64{
+		{0, 1}: 3, {1, 0}: 4, {2, 4}: 5, {4, 4}: 6,
+	}
+	for k, v := range checks {
+		if bd.At(k[0], k[1]) != v {
+			t.Fatalf("blockdiag[%d,%d] = %g want %g", k[0], k[1], bd.At(k[0], k[1]), v)
+		}
+	}
+	if bd.NNZ() != 4 {
+		t.Fatalf("blockdiag nnz %d, want 4", bd.NNZ())
+	}
+}
+
+func TestBlockDiagRequiresSquare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-square block")
+		}
+	}()
+	BlockDiag([]*CSR{NewCSR(2, 3, nil)})
+}
+
+// Property: permutation preserves the multiset of values and the nnz count.
+func TestQuickPermutePreservesValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	f := func(seed int64) bool {
+		lr := rand.New(rand.NewSource(seed))
+		n := 1 + lr.Intn(15)
+		m := randomCSR(rng, n, n, 0.3)
+		p := lr.Perm(n)
+		pm := m.Permute(p, p)
+		if pm.NNZ() != m.NNZ() {
+			return false
+		}
+		a := append([]float64(nil), m.Val...)
+		b := append([]float64(nil), pm.Val...)
+		sort.Float64s(a)
+		sort.Float64s(b)
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomCSR builds a random r x c matrix with roughly density*r*c entries.
+func randomCSR(rng *rand.Rand, r, c int, density float64) *CSR {
+	var coords []Coord
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if rng.Float64() < density {
+				coords = append(coords, Coord{Row: i, Col: j, Val: rng.NormFloat64()})
+			}
+		}
+	}
+	return NewCSR(r, c, coords)
+}
+
+func densesEqual(t *testing.T, got, want []float64, tol float64, msg string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", msg, len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > tol {
+			t.Fatalf("%s: entry %d: got %g want %g", msg, i, got[i], want[i])
+		}
+	}
+}
+
+func TestNewCSRBasic(t *testing.T) {
+	m := NewCSR(3, 4, []Coord{
+		{0, 1, 2}, {2, 3, -1}, {1, 0, 5}, {0, 1, 3}, // duplicate (0,1) sums
+	})
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3 (duplicates summed)", m.NNZ())
+	}
+	if got := m.At(0, 1); got != 5 {
+		t.Fatalf("At(0,1) = %g, want 5", got)
+	}
+	if got := m.At(1, 0); got != 5 {
+		t.Fatalf("At(1,0) = %g, want 5", got)
+	}
+	if got := m.At(2, 3); got != -1 {
+		t.Fatalf("At(2,3) = %g, want -1", got)
+	}
+	if got := m.At(2, 2); got != 0 {
+		t.Fatalf("At(2,2) = %g, want 0", got)
+	}
+}
+
+func TestNewCSRSortedWithinRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomCSR(rng, 20, 30, 0.2)
+	for i := 0; i < m.R; i++ {
+		cols, _ := m.Row(i)
+		for k := 1; k < len(cols); k++ {
+			if cols[k-1] >= cols[k] {
+				t.Fatalf("row %d not strictly sorted: %v", i, cols)
+			}
+		}
+	}
+}
+
+func TestNewCSRPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range coord")
+		}
+	}()
+	NewCSR(2, 2, []Coord{{Row: 2, Col: 0, Val: 1}})
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if got := m.At(i, j); got != want {
+				t.Fatalf("I[%d,%d] = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+	x := []float64{1, 2, 3, 4}
+	densesEqual(t, m.MulVec(x), x, 0, "I x")
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		r, c := 1+rng.Intn(15), 1+rng.Intn(15)
+		m := randomCSR(rng, r, c, 0.3)
+		tt := m.Transpose().Transpose()
+		if !reflect.DeepEqual(m.Dense(), tt.Dense()) {
+			t.Fatalf("trial %d: (Aᵀ)ᵀ != A", trial)
+		}
+	}
+}
+
+func TestTransposeEntries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomCSR(rng, 8, 13, 0.25)
+	mt := m.Transpose()
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < m.C; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatalf("Aᵀ[%d,%d] != A[%d,%d]", j, i, i, j)
+			}
+		}
+	}
+}
+
+func TestCSRCSCRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		r, c := 1+rng.Intn(12), 1+rng.Intn(12)
+		m := randomCSR(rng, r, c, 0.3)
+		back := m.ToCSC().ToCSR()
+		if !reflect.DeepEqual(m.Dense(), back.Dense()) {
+			t.Fatalf("trial %d: CSR -> CSC -> CSR changed matrix", trial)
+		}
+	}
+}
+
+func TestCSCAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randomCSR(rng, 10, 7, 0.3)
+	mc := m.ToCSC()
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < m.C; j++ {
+			if m.At(i, j) != mc.At(i, j) {
+				t.Fatalf("CSC At(%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestNewCSCMatchesNewCSR(t *testing.T) {
+	coords := []Coord{{0, 0, 1}, {1, 2, 3}, {2, 1, -2}, {1, 2, 1}}
+	a := NewCSR(3, 3, coords)
+	b := NewCSC(3, 3, coords)
+	if !reflect.DeepEqual(a.Dense(), b.Dense()) {
+		t.Fatal("NewCSC disagrees with NewCSR")
+	}
+}
+
+func TestCoordsRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := randomCSR(rng, 9, 9, 0.3)
+	back := NewCSR(9, 9, m.Coords())
+	if !reflect.DeepEqual(m.Dense(), back.Dense()) {
+		t.Fatal("Coords roundtrip changed matrix")
+	}
+	mc := m.ToCSC()
+	back2 := NewCSC(9, 9, mc.Coords())
+	if !reflect.DeepEqual(m.Dense(), back2.Dense()) {
+		t.Fatal("CSC Coords roundtrip changed matrix")
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := NewCSR(2, 2, []Coord{{0, 0, 1}, {1, 1, 2}})
+	c := m.Clone()
+	c.Val[0] = 99
+	if m.Val[0] == 99 {
+		t.Fatal("Clone shares value storage")
+	}
+	mc := m.ToCSC()
+	cc := mc.Clone()
+	cc.Val[0] = 42
+	if mc.Val[0] == 42 {
+		t.Fatal("CSC Clone shares value storage")
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	m := NewCSR(10, 10, []Coord{{0, 0, 1}, {5, 5, 2}})
+	want := int64(2)*16 + int64(11)*8
+	if got := m.Bytes(); got != want {
+		t.Fatalf("Bytes = %d, want %d", got, want)
+	}
+}
+
+// Property: for any list of triplets, building a CSR and reading it back via
+// At sums duplicates exactly.
+func TestQuickCSRAccumulatesDuplicates(t *testing.T) {
+	f := func(raw []struct {
+		R, C uint8
+		V    int8
+	}) bool {
+		const n = 16
+		coords := make([]Coord, len(raw))
+		want := map[[2]int]float64{}
+		for i, e := range raw {
+			r, c := int(e.R)%n, int(e.C)%n
+			coords[i] = Coord{Row: r, Col: c, Val: float64(e.V)}
+			want[[2]int{r, c}] += float64(e.V)
+		}
+		m := NewCSR(n, n, coords)
+		for k, v := range want {
+			if m.At(k[0], k[1]) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transpose preserves every entry.
+func TestQuickTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		lr := rand.New(rand.NewSource(seed))
+		r, c := 1+lr.Intn(20), 1+lr.Intn(20)
+		m := randomCSR(rng, r, c, 0.25)
+		mt := m.Transpose()
+		if mt.R != c || mt.C != r {
+			return false
+		}
+		d, dt := m.Dense(), mt.Dense()
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				if d[i*c+j] != dt[j*r+i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,241 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SolveLower solves L x = b in place (x overwrites b) for a lower
+// triangular CSC matrix with sorted row indices. If unit is true the
+// diagonal is taken as 1 and any stored diagonal entries are ignored.
+func SolveLower(l *CSC, b []float64, unit bool) error {
+	if l.R != l.C || len(b) != l.R {
+		panic(fmt.Sprintf("sparse: SolveLower shape mismatch %dx%d, len(b)=%d", l.R, l.C, len(b)))
+	}
+	for j := 0; j < l.C; j++ {
+		if b[j] == 0 {
+			continue
+		}
+		lo, hi := l.ColPtr[j], l.ColPtr[j+1]
+		k := lo
+		if !unit {
+			if k >= hi || l.RowIdx[k] != j {
+				return fmt.Errorf("sparse: zero diagonal at %d in lower solve", j)
+			}
+			b[j] /= l.Val[k]
+			k++
+		} else if k < hi && l.RowIdx[k] == j {
+			k++ // skip stored unit diagonal
+		}
+		xj := b[j]
+		for ; k < hi; k++ {
+			b[l.RowIdx[k]] -= l.Val[k] * xj
+		}
+	}
+	return nil
+}
+
+// SolveUpper solves U x = b in place (x overwrites b) for an upper
+// triangular CSC matrix with sorted row indices.
+func SolveUpper(u *CSC, b []float64) error {
+	if u.R != u.C || len(b) != u.R {
+		panic(fmt.Sprintf("sparse: SolveUpper shape mismatch %dx%d, len(b)=%d", u.R, u.C, len(b)))
+	}
+	for j := u.C - 1; j >= 0; j-- {
+		if b[j] == 0 {
+			continue
+		}
+		lo, hi := u.ColPtr[j], u.ColPtr[j+1]
+		if hi <= lo || u.RowIdx[hi-1] != j {
+			return fmt.Errorf("sparse: zero diagonal at %d in upper solve", j)
+		}
+		b[j] /= u.Val[hi-1]
+		xj := b[j]
+		for k := lo; k < hi-1; k++ {
+			b[u.RowIdx[k]] -= u.Val[k] * xj
+		}
+	}
+	return nil
+}
+
+// triWorkspace holds scratch buffers reused across sparse-RHS triangular
+// solves so that repeated solves (e.g. during inversion or LU) do not
+// allocate per column.
+type triWorkspace struct {
+	x       []float64 // dense accumulator
+	visited []bool
+	topo    []int // reverse-postorder node list
+	stack   []int // DFS node stack
+	kstack  []int // DFS edge-position stack
+}
+
+func newTriWorkspace(n int) *triWorkspace {
+	return &triWorkspace{
+		x:       make([]float64, n),
+		visited: make([]bool, n),
+		topo:    make([]int, 0, n),
+		stack:   make([]int, 0, 64),
+		kstack:  make([]int, 0, 64),
+	}
+}
+
+// reach computes the set of indices reachable from the pattern of b in the
+// dependency graph of the triangular matrix m (edge j -> i for every stored
+// off-diagonal entry (i, j)), appending nodes to w.topo in reverse
+// postorder, which is a topological order for the solve. colEnd optionally
+// limits traversal to columns < colEnd (used by LU where only the first j
+// columns of L exist); pass m.C to consider the whole matrix.
+func reach(m *CSC, bPattern []int, w *triWorkspace, colEnd int) {
+	w.topo = w.topo[:0]
+	for _, root := range bPattern {
+		if w.visited[root] {
+			continue
+		}
+		w.stack = append(w.stack[:0], root)
+		w.kstack = append(w.kstack[:0], -1)
+		w.visited[root] = true
+		for len(w.stack) > 0 {
+			top := len(w.stack) - 1
+			j := w.stack[top]
+			k := w.kstack[top]
+			if k < 0 {
+				if j < colEnd {
+					k = m.ColPtr[j]
+				} else {
+					k = math.MaxInt // no outgoing edges
+				}
+			}
+			advanced := false
+			for j < colEnd && k < m.ColPtr[j+1] {
+				i := m.RowIdx[k]
+				k++
+				if i != j && !w.visited[i] {
+					w.visited[i] = true
+					w.kstack[top] = k
+					w.stack = append(w.stack, i)
+					w.kstack = append(w.kstack, -1)
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				w.stack = w.stack[:top]
+				w.kstack = w.kstack[:top]
+				w.topo = append(w.topo, j)
+			}
+		}
+	}
+	// Reverse postorder: dependencies of a node finish before it, so the
+	// solve must process nodes in reverse append order.
+	for i, j := 0, len(w.topo)-1; i < j; i, j = i+1, j-1 {
+		w.topo[i], w.topo[j] = w.topo[j], w.topo[i]
+	}
+	for _, j := range w.topo {
+		w.visited[j] = false
+	}
+}
+
+// solveSparseRHS solves T x = b where T is triangular in CSC form and b is
+// sparse (bRows/bVals). The nonzero pattern of x is computed by graph reach
+// (Gilbert–Peierls) and only that pattern is touched. Results are scattered
+// into w.x; the pattern is returned in topological order. If unit is true
+// the diagonal is implicit 1. colEnd limits the columns considered (for the
+// partial L during LU); pass t.C for a complete matrix.
+func solveSparseRHS(t *CSC, bRows []int, bVals []float64, unit bool, w *triWorkspace, colEnd int) ([]int, error) {
+	reach(t, bRows, w, colEnd)
+	for _, i := range w.topo {
+		w.x[i] = 0
+	}
+	for k, i := range bRows {
+		w.x[i] = bVals[k]
+	}
+	for _, j := range w.topo {
+		if j >= colEnd {
+			continue // beyond factored region: value passes through
+		}
+		lo, hi := t.ColPtr[j], t.ColPtr[j+1]
+		// Locate the diagonal within the (sorted) column.
+		d := lo + sort.SearchInts(t.RowIdx[lo:hi], j)
+		if !unit {
+			if d >= hi || t.RowIdx[d] != j {
+				return nil, fmt.Errorf("sparse: zero diagonal at %d in sparse triangular solve", j)
+			}
+			w.x[j] /= t.Val[d]
+		}
+		xj := w.x[j]
+		if xj == 0 {
+			continue
+		}
+		for k := lo; k < hi; k++ {
+			i := t.RowIdx[k]
+			if i == j {
+				continue
+			}
+			w.x[i] -= t.Val[k] * xj
+		}
+	}
+	return w.topo, nil
+}
+
+// ErrBudget reports that a triangular inversion exceeded its allowed
+// fill-in, the signal the experiment harness maps to an out-of-memory
+// outcome.
+var ErrBudget = errors.New("sparse: triangular inverse exceeded nnz budget")
+
+// InverseLower computes L⁻¹ for a lower triangular CSC matrix by solving
+// L x = e_j column by column with reach-limited substitution, preserving
+// any block structure of L exactly (Lemma 1 of the paper).
+func InverseLower(l *CSC, unit bool) (*CSC, error) {
+	return inverseTriangular(l, unit, 0)
+}
+
+// InverseUpper computes U⁻¹ for an upper triangular CSC matrix.
+func InverseUpper(u *CSC) (*CSC, error) {
+	return inverseTriangular(u, false, 0)
+}
+
+// InverseLowerBudget is InverseLower with a fill-in cap: once the inverse
+// accumulates more than maxNNZ stored entries the computation aborts with
+// ErrBudget. maxNNZ <= 0 means unlimited.
+func InverseLowerBudget(l *CSC, unit bool, maxNNZ int64) (*CSC, error) {
+	return inverseTriangular(l, unit, maxNNZ)
+}
+
+// InverseUpperBudget is InverseUpper with a fill-in cap.
+func InverseUpperBudget(u *CSC, maxNNZ int64) (*CSC, error) {
+	return inverseTriangular(u, false, maxNNZ)
+}
+
+func inverseTriangular(t *CSC, unit bool, maxNNZ int64) (*CSC, error) {
+	if t.R != t.C {
+		panic("sparse: triangular inverse requires a square matrix")
+	}
+	n := t.C
+	w := newTriWorkspace(n)
+	out := &CSC{R: n, C: n, ColPtr: make([]int, n+1)}
+	eRow := []int{0}
+	eVal := []float64{1}
+	var colRows []int
+	for j := 0; j < n; j++ {
+		eRow[0] = j
+		pattern, err := solveSparseRHS(t, eRow, eVal, unit, w, n)
+		if err != nil {
+			return nil, err
+		}
+		colRows = append(colRows[:0], pattern...)
+		sort.Ints(colRows)
+		for _, i := range colRows {
+			if v := w.x[i]; v != 0 {
+				out.RowIdx = append(out.RowIdx, i)
+				out.Val = append(out.Val, v)
+			}
+		}
+		out.ColPtr[j+1] = len(out.RowIdx)
+		if maxNNZ > 0 && int64(len(out.RowIdx)) > maxNNZ {
+			return nil, ErrBudget
+		}
+	}
+	return out, nil
+}

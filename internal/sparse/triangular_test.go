@@ -1,0 +1,199 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomLower builds a random nonsingular lower triangular CSC matrix.
+func randomLower(rng *rand.Rand, n int, density float64, unit bool) *CSC {
+	var coords []Coord
+	for j := 0; j < n; j++ {
+		d := 1.0
+		if !unit {
+			d = 1 + rng.Float64() // bounded away from zero
+		}
+		coords = append(coords, Coord{Row: j, Col: j, Val: d})
+		for i := j + 1; i < n; i++ {
+			if rng.Float64() < density {
+				coords = append(coords, Coord{Row: i, Col: j, Val: rng.NormFloat64() * 0.5})
+			}
+		}
+	}
+	return NewCSC(n, n, coords)
+}
+
+// randomUpper builds a random nonsingular upper triangular CSC matrix.
+func randomUpper(rng *rand.Rand, n int, density float64) *CSC {
+	var coords []Coord
+	for j := 0; j < n; j++ {
+		coords = append(coords, Coord{Row: j, Col: j, Val: 1 + rng.Float64()})
+		for i := 0; i < j; i++ {
+			if rng.Float64() < density {
+				coords = append(coords, Coord{Row: i, Col: j, Val: rng.NormFloat64() * 0.5})
+			}
+		}
+	}
+	return NewCSC(n, n, coords)
+}
+
+func TestSolveLower(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(25)
+		for _, unit := range []bool{false, true} {
+			l := randomLower(rng, n, 0.3, unit)
+			x := randomVec(rng, n)
+			b := l.ToCSR().MulVec(x)
+			if err := SolveLower(l, b, unit); err != nil {
+				t.Fatalf("SolveLower: %v", err)
+			}
+			densesEqual(t, b, x, 1e-8, "lower solve")
+		}
+	}
+}
+
+func TestSolveUpper(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(25)
+		u := randomUpper(rng, n, 0.3)
+		x := randomVec(rng, n)
+		b := u.ToCSR().MulVec(x)
+		if err := SolveUpper(u, b); err != nil {
+			t.Fatalf("SolveUpper: %v", err)
+		}
+		densesEqual(t, b, x, 1e-8, "upper solve")
+	}
+}
+
+func TestSolveLowerZeroDiagonal(t *testing.T) {
+	l := NewCSC(2, 2, []Coord{{1, 0, 1}, {1, 1, 1}}) // missing (0,0)
+	err := SolveLower(l, []float64{1, 1}, false)
+	if err == nil {
+		t.Fatal("expected zero-diagonal error")
+	}
+}
+
+func TestSolveUpperZeroDiagonal(t *testing.T) {
+	u := NewCSC(2, 2, []Coord{{0, 0, 1}, {0, 1, 1}}) // missing (1,1)
+	err := SolveUpper(u, []float64{1, 1})
+	if err == nil {
+		t.Fatal("expected zero-diagonal error")
+	}
+}
+
+func TestInverseLower(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(20)
+		for _, unit := range []bool{false, true} {
+			l := randomLower(rng, n, 0.3, unit)
+			inv, err := InverseLower(l, unit)
+			if err != nil {
+				t.Fatalf("InverseLower: %v", err)
+			}
+			prod := Mul(l.ToCSR(), inv.ToCSR()).Dense()
+			id := Identity(n).Dense()
+			densesEqual(t, prod, id, 1e-8, "L L⁻¹")
+		}
+	}
+}
+
+func TestInverseUpper(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(20)
+		u := randomUpper(rng, n, 0.3)
+		inv, err := InverseUpper(u)
+		if err != nil {
+			t.Fatalf("InverseUpper: %v", err)
+		}
+		prod := Mul(u.ToCSR(), inv.ToCSR()).Dense()
+		densesEqual(t, prod, Identity(n).Dense(), 1e-8, "U U⁻¹")
+	}
+}
+
+// Lemma 1 of the paper: the inverse of a block-diagonal triangular matrix
+// is block diagonal with the same block sizes.
+func TestInversePreservesBlockStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	sizes := []int{4, 7, 3, 6}
+	var blocks []*CSR
+	for _, sz := range sizes {
+		blocks = append(blocks, randomLower(rng, sz, 0.5, false).ToCSR())
+	}
+	l := BlockDiag(blocks).ToCSC()
+	inv, err := InverseLower(l, false)
+	if err != nil {
+		t.Fatalf("InverseLower: %v", err)
+	}
+	// Every nonzero of the inverse must fall inside a diagonal block.
+	bounds := make([]int, 0, len(sizes)+1)
+	off := 0
+	for _, sz := range sizes {
+		bounds = append(bounds, off)
+		off += sz
+	}
+	bounds = append(bounds, off)
+	blockOf := func(i int) int {
+		for b := 0; b < len(sizes); b++ {
+			if i >= bounds[b] && i < bounds[b+1] {
+				return b
+			}
+		}
+		return -1
+	}
+	for _, co := range inv.Coords() {
+		if blockOf(co.Row) != blockOf(co.Col) {
+			t.Fatalf("inverse entry (%d,%d) crosses blocks", co.Row, co.Col)
+		}
+	}
+}
+
+func TestInverseBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	l := randomLower(rng, 30, 0.8, false) // dense-ish inverse
+	_, err := InverseLowerBudget(l, false, 10)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("expected ErrBudget, got %v", err)
+	}
+	u := randomUpper(rng, 30, 0.8)
+	_, err = InverseUpperBudget(u, 10)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("expected ErrBudget, got %v", err)
+	}
+	// Generous budget succeeds.
+	if _, err := InverseLowerBudget(l, false, 1<<20); err != nil {
+		t.Fatalf("generous budget failed: %v", err)
+	}
+}
+
+// Property: solving against the computed inverse matches direct solve.
+func TestQuickTriangularInverseSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	f := func(seed int64) bool {
+		lr := rand.New(rand.NewSource(seed))
+		n := 1 + lr.Intn(15)
+		l := randomLower(rng, n, 0.4, false)
+		inv, err := InverseLower(l, false)
+		if err != nil {
+			return false
+		}
+		x := randomVec(rng, n)
+		b := l.ToCSR().MulVec(x)
+		got := inv.ToCSR().MulVec(b)
+		for i := range got {
+			if math.Abs(got[i]-x[i]) > 1e-7*(1+math.Abs(x[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

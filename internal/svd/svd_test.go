@@ -1,0 +1,190 @@
+package svd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bear/internal/dense"
+	"bear/internal/sparse"
+)
+
+// lowRankSparse builds an exactly rank-r p×q sparse matrix as a sum of r
+// sparse outer products.
+func lowRankSparse(rng *rand.Rand, p, q, r int) *sparse.CSR {
+	acc := dense.New(p, q)
+	for k := 0; k < r; k++ {
+		u := make([]float64, p)
+		v := make([]float64, q)
+		for i := range u {
+			if rng.Float64() < 0.4 {
+				u[i] = rng.NormFloat64()
+			}
+		}
+		for j := range v {
+			if rng.Float64() < 0.4 {
+				v[j] = rng.NormFloat64()
+			}
+		}
+		for i := 0; i < p; i++ {
+			if u[i] == 0 {
+				continue
+			}
+			for j := 0; j < q; j++ {
+				acc.Data[i*q+j] += u[i] * v[j]
+			}
+		}
+	}
+	return sparse.FromDense(p, q, acc.Data)
+}
+
+func frobenius(m *dense.Matrix) float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+func diffNorm(a *sparse.CSR, approx *dense.Matrix) float64 {
+	ad := a.Dense()
+	var s float64
+	for i := range ad {
+		d := ad[i] - approx.Data[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func TestTruncatedRecoversLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		p, q, r := 20+rng.Intn(30), 20+rng.Intn(30), 1+rng.Intn(4)
+		a := lowRankSparse(rng, p, q, r)
+		res, err := Truncated(a, r+3, 6, 7)
+		if err != nil {
+			t.Fatalf("Truncated: %v", err)
+		}
+		norm := frobenius(dense.NewFrom(a.R, a.C, a.Dense()))
+		if norm == 0 {
+			continue
+		}
+		if rel := diffNorm(a, res.Reconstruct()) / norm; rel > 1e-8 {
+			t.Fatalf("trial %d: rank-%d matrix not recovered, rel err %g", trial, r, rel)
+		}
+	}
+}
+
+func TestTruncatedOrthonormalFactors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := lowRankSparse(rng, 40, 30, 5)
+	res, err := Truncated(a, 5, 6, 3)
+	if err != nil {
+		t.Fatalf("Truncated: %v", err)
+	}
+	for _, m := range []*dense.Matrix{res.U, res.V} {
+		g := dense.Mul(m.Transpose(), m)
+		for i := 0; i < g.R; i++ {
+			for j := 0; j < g.C; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(g.At(i, j)-want) > 1e-8 {
+					t.Fatalf("factor not orthonormal at (%d,%d): %g", i, j, g.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestTruncatedSingularValuesSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := lowRankSparse(rng, 50, 50, 8)
+	res, err := Truncated(a, 8, 6, 4)
+	if err != nil {
+		t.Fatalf("Truncated: %v", err)
+	}
+	for i := 1; i < len(res.S); i++ {
+		if res.S[i] > res.S[i-1]+1e-12 {
+			t.Fatalf("singular values not descending: %v", res.S)
+		}
+		if res.S[i] <= 0 {
+			t.Fatalf("non-positive singular value %g", res.S[i])
+		}
+	}
+}
+
+func TestTruncatedErrorDecreasesWithRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// A full-rank-ish random sparse matrix.
+	var coords []sparse.Coord
+	for i := 0; i < 60; i++ {
+		for j := 0; j < 60; j++ {
+			if rng.Float64() < 0.2 {
+				coords = append(coords, sparse.Coord{Row: i, Col: j, Val: rng.NormFloat64()})
+			}
+		}
+	}
+	a := sparse.NewCSR(60, 60, coords)
+	prev := math.Inf(1)
+	for _, rank := range []int{2, 8, 20, 40} {
+		res, err := Truncated(a, rank, 6, 5)
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+		e := diffNorm(a, res.Reconstruct())
+		if e > prev+1e-9 {
+			t.Fatalf("error increased from %g to %g at rank %d", prev, e, rank)
+		}
+		prev = e
+	}
+}
+
+func TestTruncatedZeroMatrix(t *testing.T) {
+	a := sparse.NewCSR(10, 10, nil)
+	res, err := Truncated(a, 3, 4, 6)
+	if err != nil {
+		t.Fatalf("Truncated: %v", err)
+	}
+	if res.Rank() != 0 {
+		t.Fatalf("zero matrix produced rank %d", res.Rank())
+	}
+}
+
+func TestTruncatedValidation(t *testing.T) {
+	a := sparse.Identity(5)
+	if _, err := Truncated(a, 0, 4, 1); err == nil {
+		t.Fatal("expected rank validation error")
+	}
+	// Requested rank above min(p, q) clamps rather than failing.
+	res, err := Truncated(a, 50, 4, 1)
+	if err != nil {
+		t.Fatalf("Truncated: %v", err)
+	}
+	if res.Rank() > 5 {
+		t.Fatalf("rank %d above matrix dimension", res.Rank())
+	}
+}
+
+// Property: the rank-k truncation error never exceeds ‖A‖_F and hits ~0
+// when k reaches the true rank.
+func TestQuickTruncatedBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, q := 15+rng.Intn(20), 15+rng.Intn(20)
+		r := 1 + rng.Intn(3)
+		a := lowRankSparse(rng, p, q, r)
+		norm := frobenius(dense.NewFrom(a.R, a.C, a.Dense()))
+		res, err := Truncated(a, r, 6, seed)
+		if err != nil {
+			return false
+		}
+		e := diffNorm(a, res.Reconstruct())
+		return e <= norm*1e-6+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,497 @@
+// Package server exposes BEAR as an HTTP service: upload a graph once, pay
+// preprocessing once, then answer RWR / personalized-PageRank / effective-
+// importance queries over REST. Incremental edge updates are served
+// exactly through the Woodbury layer and can be folded in with an explicit
+// rebuild. All state is in memory; persistence is the caller's concern
+// (indexes can be exported with the bear CLI).
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"bear"
+)
+
+// Server is a registry of preprocessed graphs behind an http.Handler. The
+// zero value is not usable; construct with New.
+type Server struct {
+	mu     sync.RWMutex
+	graphs map[string]*entry
+
+	// RebuildThreshold folds pending dynamic updates into a fresh
+	// preprocessing pass automatically once this many nodes are dirty.
+	// Zero disables automatic rebuilds.
+	RebuildThreshold int
+
+	// MaxBodyBytes caps upload sizes (default 256 MiB).
+	MaxBodyBytes int64
+}
+
+type entry struct {
+	dyn     *bear.Dynamic
+	opts    bear.Options
+	created time.Time
+}
+
+// New returns an empty server with defaults.
+func New() *Server {
+	return &Server{
+		graphs:           make(map[string]*entry),
+		RebuildThreshold: 64,
+		MaxBodyBytes:     256 << 20,
+	}
+}
+
+// Handler returns the HTTP routes:
+//
+//	GET    /healthz
+//	GET    /v1/graphs
+//	PUT    /v1/graphs/{name}?c=&drop=&laplacian=   (body: edge list or MatrixMarket)
+//	GET    /v1/graphs/{name}
+//	DELETE /v1/graphs/{name}
+//	GET    /v1/graphs/{name}/query?seed=&top=&ei=
+//	GET    /v1/graphs/{name}/pagerank?top=
+//	POST   /v1/graphs/{name}/ppr      (body: {"seeds":{"3":0.5},"top":10})
+//	POST   /v1/graphs/{name}/edges    (body: {"op":"add","u":1,"v":2,"w":1})
+//	POST   /v1/graphs/{name}/rebuild
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/graphs", s.handleList)
+	mux.HandleFunc("PUT /v1/graphs/{name}", s.handlePut)
+	mux.HandleFunc("GET /v1/graphs/{name}", s.handleStats)
+	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDelete)
+	mux.HandleFunc("GET /v1/graphs/{name}/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/graphs/{name}/pagerank", s.handlePageRank)
+	mux.HandleFunc("POST /v1/graphs/{name}/ppr", s.handlePPR)
+	mux.HandleFunc("POST /v1/graphs/{name}/edges", s.handleEdges)
+	mux.HandleFunc("POST /v1/graphs/{name}/rebuild", s.handleRebuild)
+	return mux
+}
+
+// Add preprocesses g and registers it under name, replacing any previous
+// graph with that name. It is the programmatic equivalent of PUT.
+func (s *Server) Add(name string, g *bear.Graph, opts bear.Options) error {
+	if err := validateName(name); err != nil {
+		return err
+	}
+	dyn, err := bear.NewDynamic(g, opts)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.graphs[name] = &entry{dyn: dyn, opts: opts, created: time.Now()}
+	s.mu.Unlock()
+	return nil
+}
+
+func validateName(name string) error {
+	if name == "" || len(name) > 128 {
+		return fmt.Errorf("graph name must be 1-128 characters")
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("graph name contains invalid character %q", r)
+		}
+	}
+	return nil
+}
+
+func (s *Server) lookup(name string) (*entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.graphs[name]
+	return e, ok
+}
+
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errBadRequest(format string, args ...interface{}) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func errNotFound(name string) error {
+	return &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("graph %q not found", name)}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	var he *httpError
+	if errors.As(err, &he) {
+		writeJSON(w, he.status, map[string]string{"error": he.msg})
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+}
+
+// GraphInfo is the JSON stats document for one registered graph.
+type GraphInfo struct {
+	Name      string    `json:"name"`
+	Nodes     int       `json:"nodes"`
+	Edges     int       `json:"edges"`
+	Spokes    int       `json:"spokes"`
+	Hubs      int       `json:"hubs"`
+	Blocks    int       `json:"blocks"`
+	NNZ       int64     `json:"precomputed_nnz"`
+	Bytes     int64     `json:"precomputed_bytes"`
+	RestartC  float64   `json:"restart_probability"`
+	DropTol   float64   `json:"drop_tolerance"`
+	Pending   int       `json:"pending_updates"`
+	CreatedAt time.Time `json:"created_at"`
+}
+
+func (e *entry) info(name string) GraphInfo {
+	p := e.dyn.Precomputed()
+	g := e.dyn.Graph()
+	return GraphInfo{
+		Name:      name,
+		Nodes:     g.N(),
+		Edges:     g.M(),
+		Spokes:    p.N1,
+		Hubs:      p.N2,
+		Blocks:    len(p.Blocks),
+		NNZ:       p.NNZ(),
+		Bytes:     p.Bytes(),
+		RestartC:  p.C,
+		DropTol:   e.opts.DropTol,
+		Pending:   e.dyn.PendingNodes(),
+		CreatedAt: e.created,
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.graphs))
+	for name := range s.graphs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	infos := make([]GraphInfo, 0, len(names))
+	for _, name := range names {
+		infos = append(infos, s.graphs[name].info(name))
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{"graphs": infos})
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := validateName(name); err != nil {
+		writeError(w, errBadRequest("%v", err))
+		return
+	}
+	opts := bear.Options{}
+	q := r.URL.Query()
+	if v := q.Get("c"); v != "" {
+		c, err := strconv.ParseFloat(v, 64)
+		if err != nil || c <= 0 || c >= 1 {
+			writeError(w, errBadRequest("restart probability %q must be in (0,1)", v))
+			return
+		}
+		opts.C = c
+	}
+	if v := q.Get("drop"); v != "" {
+		d, err := strconv.ParseFloat(v, 64)
+		if err != nil || d < 0 {
+			writeError(w, errBadRequest("drop tolerance %q must be non-negative", v))
+			return
+		}
+		opts.DropTol = d
+	}
+	if v := q.Get("laplacian"); v != "" {
+		lap, err := strconv.ParseBool(v)
+		if err != nil {
+			writeError(w, errBadRequest("laplacian %q must be a boolean", v))
+			return
+		}
+		opts.Laplacian = lap
+	}
+	body := http.MaxBytesReader(w, r.Body, s.MaxBodyBytes)
+	g, err := sniffLoad(body)
+	if err != nil {
+		writeError(w, errBadRequest("parsing graph: %v", err))
+		return
+	}
+	if err := s.Add(name, g, opts); err != nil {
+		writeError(w, errBadRequest("preprocessing: %v", err))
+		return
+	}
+	e, _ := s.lookup(name)
+	writeJSON(w, http.StatusCreated, e.info(name))
+}
+
+// sniffLoad parses either an edge list or a MatrixMarket body.
+func sniffLoad(r io.Reader) (*bear.Graph, error) {
+	br := bufio.NewReader(r)
+	head, _ := br.Peek(len("%%MatrixMarket"))
+	if strings.EqualFold(string(head), "%%MatrixMarket") {
+		return bear.LoadMatrixMarket(br)
+	}
+	return bear.LoadEdgeList(br)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.lookup(name)
+	if !ok {
+		writeError(w, errNotFound(name))
+		return
+	}
+	writeJSON(w, http.StatusOK, e.info(name))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	_, ok := s.graphs[name]
+	delete(s.graphs, name)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, errNotFound(name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+// ScoredNode is one ranked result.
+type ScoredNode struct {
+	Node  int     `json:"node"`
+	Score float64 `json:"score"`
+}
+
+func topResults(scores []float64, top int) []ScoredNode {
+	if top <= 0 {
+		top = 10
+	}
+	ids := bear.TopK(scores, top)
+	out := make([]ScoredNode, len(ids))
+	for i, u := range ids {
+		out[i] = ScoredNode{Node: u, Score: scores[u]}
+	}
+	return out
+}
+
+func parseTop(r *http.Request) (int, error) {
+	v := r.URL.Query().Get("top")
+	if v == "" {
+		return 10, nil
+	}
+	top, err := strconv.Atoi(v)
+	if err != nil || top <= 0 {
+		return 0, errBadRequest("top %q must be a positive integer", v)
+	}
+	return top, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.lookup(name)
+	if !ok {
+		writeError(w, errNotFound(name))
+		return
+	}
+	seedStr := r.URL.Query().Get("seed")
+	seed, err := strconv.Atoi(seedStr)
+	if err != nil {
+		writeError(w, errBadRequest("seed %q must be an integer", seedStr))
+		return
+	}
+	top, err := parseTop(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var scores []float64
+	useEI := r.URL.Query().Get("ei") != ""
+	if useEI && e.dyn.PendingNodes() > 0 {
+		writeError(w, errBadRequest("effective importance requires a rebuild after updates"))
+		return
+	}
+	if useEI {
+		scores, err = e.dyn.Precomputed().QueryEffectiveImportance(seed)
+	} else {
+		scores, err = e.dyn.Query(seed)
+	}
+	if err != nil {
+		writeError(w, errBadRequest("query: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"graph":   name,
+		"seed":    seed,
+		"results": topResults(scores, top),
+	})
+}
+
+func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.lookup(name)
+	if !ok {
+		writeError(w, errNotFound(name))
+		return
+	}
+	top, err := parseTop(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	n := e.dyn.Graph().N()
+	q := make([]float64, n)
+	for i := range q {
+		q[i] = 1 / float64(n)
+	}
+	scores, err := e.dyn.QueryDist(q)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"graph":   name,
+		"results": topResults(scores, top),
+	})
+}
+
+type pprRequest struct {
+	Seeds map[string]float64 `json:"seeds"`
+	Top   int                `json:"top"`
+}
+
+func (s *Server) handlePPR(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.lookup(name)
+	if !ok {
+		writeError(w, errNotFound(name))
+		return
+	}
+	var req pprRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.MaxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, errBadRequest("decoding body: %v", err))
+		return
+	}
+	if len(req.Seeds) == 0 {
+		writeError(w, errBadRequest("seeds must not be empty"))
+		return
+	}
+	n := e.dyn.Graph().N()
+	q := make([]float64, n)
+	for k, weight := range req.Seeds {
+		node, err := strconv.Atoi(k)
+		if err != nil || node < 0 || node >= n {
+			writeError(w, errBadRequest("seed %q out of range [0,%d)", k, n))
+			return
+		}
+		if weight < 0 {
+			writeError(w, errBadRequest("seed %q has negative weight", k))
+			return
+		}
+		q[node] = weight
+	}
+	scores, err := e.dyn.QueryDist(q)
+	if err != nil {
+		writeError(w, errBadRequest("query: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"graph":   name,
+		"results": topResults(scores, req.Top),
+	})
+}
+
+type edgeRequest struct {
+	Op      string    `json:"op"` // add, remove, replace
+	U       int       `json:"u"`
+	V       int       `json:"v"`
+	W       float64   `json:"w"`
+	Dst     []int     `json:"dst"`     // replace only
+	Weights []float64 `json:"weights"` // replace only
+}
+
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.lookup(name)
+	if !ok {
+		writeError(w, errNotFound(name))
+		return
+	}
+	var req edgeRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.MaxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, errBadRequest("decoding body: %v", err))
+		return
+	}
+	var err error
+	switch req.Op {
+	case "add":
+		weight := req.W
+		if weight == 0 {
+			weight = 1
+		}
+		err = e.dyn.AddEdge(req.U, req.V, weight)
+	case "remove":
+		err = e.dyn.RemoveEdge(req.U, req.V)
+	case "replace":
+		err = e.dyn.UpdateNode(req.U, req.Dst, req.Weights)
+	default:
+		writeError(w, errBadRequest("op %q must be add, remove, or replace", req.Op))
+		return
+	}
+	if err != nil {
+		writeError(w, errBadRequest("%v", err))
+		return
+	}
+	rebuilt := false
+	if s.RebuildThreshold > 0 && e.dyn.PendingNodes() >= s.RebuildThreshold {
+		if err := e.dyn.Rebuild(); err != nil {
+			writeError(w, fmt.Errorf("automatic rebuild: %w", err))
+			return
+		}
+		rebuilt = true
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"graph":   name,
+		"pending": e.dyn.PendingNodes(),
+		"rebuilt": rebuilt,
+	})
+}
+
+func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.lookup(name)
+	if !ok {
+		writeError(w, errNotFound(name))
+		return
+	}
+	start := time.Now()
+	if err := e.dyn.Rebuild(); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"graph":      name,
+		"rebuild_ms": float64(time.Since(start).Microseconds()) / 1000,
+	})
+}

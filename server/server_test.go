@@ -1,0 +1,279 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"bear"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func edgeListBody() string {
+	g := bear.GenerateCavemanHubs(bear.CavemanHubsConfig{
+		Communities: 6, Size: 12, PIntra: 0.4, Hubs: 3, HubDeg: 10, Seed: 1,
+	})
+	var buf bytes.Buffer
+	if err := g.SaveEdgeList(&buf); err != nil {
+		panic(err)
+	}
+	return buf.String()
+}
+
+func doJSON(t *testing.T, method, url, body string, wantStatus int) map[string]interface{} {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s %s: decoding response: %v", method, url, err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s: status %d, want %d (body %v)", method, url, resp.StatusCode, wantStatus, out)
+	}
+	return out
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	out := doJSON(t, "GET", ts.URL+"/healthz", "", http.StatusOK)
+	if out["status"] != "ok" {
+		t.Fatalf("healthz = %v", out)
+	}
+}
+
+func TestGraphLifecycle(t *testing.T) {
+	_, ts := newTestServer(t)
+	base := ts.URL + "/v1/graphs"
+
+	// Upload.
+	info := doJSON(t, "PUT", base+"/social", edgeListBody(), http.StatusCreated)
+	if info["name"] != "social" || info["nodes"].(float64) <= 0 {
+		t.Fatalf("upload info %v", info)
+	}
+
+	// List and stats.
+	list := doJSON(t, "GET", base, "", http.StatusOK)
+	if graphs := list["graphs"].([]interface{}); len(graphs) != 1 {
+		t.Fatalf("list = %v", list)
+	}
+	stats := doJSON(t, "GET", base+"/social", "", http.StatusOK)
+	if stats["hubs"].(float64) <= 0 {
+		t.Fatalf("stats = %v", stats)
+	}
+
+	// Query.
+	q := doJSON(t, "GET", base+"/social/query?seed=3&top=5", "", http.StatusOK)
+	results := q["results"].([]interface{})
+	if len(results) != 5 {
+		t.Fatalf("query returned %d results", len(results))
+	}
+	first := results[0].(map[string]interface{})
+	if first["node"].(float64) != 3 {
+		t.Fatalf("seed should rank first, got %v", first)
+	}
+
+	// PageRank.
+	pr := doJSON(t, "GET", base+"/social/pagerank?top=3", "", http.StatusOK)
+	if len(pr["results"].([]interface{})) != 3 {
+		t.Fatalf("pagerank = %v", pr)
+	}
+
+	// PPR.
+	ppr := doJSON(t, "POST", base+"/social/ppr", `{"seeds":{"1":0.5,"20":0.5},"top":4}`, http.StatusOK)
+	if len(ppr["results"].([]interface{})) != 4 {
+		t.Fatalf("ppr = %v", ppr)
+	}
+
+	// Delete.
+	doJSON(t, "DELETE", base+"/social", "", http.StatusOK)
+	doJSON(t, "GET", base+"/social", "", http.StatusNotFound)
+}
+
+func TestQueryMatchesLibrary(t *testing.T) {
+	_, ts := newTestServer(t)
+	base := ts.URL + "/v1/graphs"
+	body := edgeListBody()
+	doJSON(t, "PUT", base+"/g", body, http.StatusCreated)
+
+	g, err := bear.LoadEdgeList(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := bear.Preprocess(g, bear.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Query(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := doJSON(t, "GET", base+"/g/query?seed=7&top=1", "", http.StatusOK)
+	first := out["results"].([]interface{})[0].(map[string]interface{})
+	wantTop := bear.TopK(want, 1)[0]
+	if int(first["node"].(float64)) != wantTop {
+		t.Fatalf("server top node %v, library %d", first["node"], wantTop)
+	}
+	if diff := first["score"].(float64) - want[wantTop]; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("server score differs by %g", diff)
+	}
+}
+
+func TestEdgeUpdatesAndRebuild(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.RebuildThreshold = 2 // pending counts distinct touched nodes
+	base := ts.URL + "/v1/graphs"
+	doJSON(t, "PUT", base+"/g", edgeListBody(), http.StatusCreated)
+
+	// Add an edge; pending rises.
+	out := doJSON(t, "POST", base+"/g/edges", `{"op":"add","u":0,"v":70}`, http.StatusOK)
+	if out["pending"].(float64) != 1 || out["rebuilt"].(bool) {
+		t.Fatalf("after add: %v", out)
+	}
+	// The query reflects the new edge.
+	q := doJSON(t, "GET", base+"/g/query?seed=0&top=20", "", http.StatusOK)
+	found := false
+	for _, it := range q["results"].([]interface{}) {
+		if it.(map[string]interface{})["node"].(float64) == 70 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("node 70 missing from top results after adding edge 0->70")
+	}
+
+	// Removing from the same node keeps the dirty-node count at one.
+	out = doJSON(t, "POST", base+"/g/edges", `{"op":"remove","u":0,"v":70}`, http.StatusOK)
+	if out["pending"].(float64) != 1 || out["rebuilt"].(bool) {
+		t.Fatalf("after remove on same node: %v", out)
+	}
+	// A second distinct node reaches the threshold: automatic rebuild.
+	out = doJSON(t, "POST", base+"/g/edges", `{"op":"replace","u":5,"dst":[1,2],"weights":[1,1]}`, http.StatusOK)
+	if !out["rebuilt"].(bool) || out["pending"].(float64) != 0 {
+		t.Fatalf("expected automatic rebuild: %v", out)
+	}
+
+	// Manual rebuild endpoint.
+	doJSON(t, "POST", base+"/g/edges", `{"op":"add","u":1,"v":60}`, http.StatusOK)
+	doJSON(t, "POST", base+"/g/rebuild", "", http.StatusOK)
+	stats := doJSON(t, "GET", base+"/g", "", http.StatusOK)
+	if stats["pending_updates"].(float64) != 0 {
+		t.Fatalf("pending after rebuild: %v", stats)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	base := ts.URL + "/v1/graphs"
+	doJSON(t, "PUT", base+"/g", edgeListBody(), http.StatusCreated)
+
+	cases := []struct {
+		method, url, body string
+		want              int
+	}{
+		{"PUT", base + "/bad name!", "0 1\n", http.StatusBadRequest},
+		{"PUT", base + "/g2", "not an edge list", http.StatusBadRequest},
+		{"PUT", base + "/g3?c=2", "0 1\n", http.StatusBadRequest},
+		{"PUT", base + "/g3?drop=-1", "0 1\n", http.StatusBadRequest},
+		{"PUT", base + "/g3?laplacian=maybe", "0 1\n", http.StatusBadRequest},
+		{"GET", base + "/missing", "", http.StatusNotFound},
+		{"DELETE", base + "/missing", "", http.StatusNotFound},
+		{"GET", base + "/g/query?seed=abc", "", http.StatusBadRequest},
+		{"GET", base + "/g/query?seed=99999", "", http.StatusBadRequest},
+		{"GET", base + "/g/query?seed=1&top=-2", "", http.StatusBadRequest},
+		{"GET", base + "/missing/query?seed=1", "", http.StatusNotFound},
+		{"POST", base + "/g/ppr", "{bad json", http.StatusBadRequest},
+		{"POST", base + "/g/ppr", `{"seeds":{}}`, http.StatusBadRequest},
+		{"POST", base + "/g/ppr", `{"seeds":{"99999":1}}`, http.StatusBadRequest},
+		{"POST", base + "/g/ppr", `{"seeds":{"1":-1}}`, http.StatusBadRequest},
+		{"POST", base + "/g/edges", `{"op":"teleport","u":0,"v":1}`, http.StatusBadRequest},
+		{"POST", base + "/g/edges", `{"op":"remove","u":0,"v":71}`, http.StatusBadRequest},
+		{"POST", base + "/missing/rebuild", "", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		doJSON(t, c.method, c.url, c.body, c.want)
+	}
+}
+
+func TestMatrixMarketUpload(t *testing.T) {
+	_, ts := newTestServer(t)
+	mm := "%%MatrixMarket matrix coordinate real general\n3 3 3\n1 2 1\n2 3 1\n3 1 1\n"
+	info := doJSON(t, "PUT", ts.URL+"/v1/graphs/mm", mm, http.StatusCreated)
+	if info["nodes"].(float64) != 3 {
+		t.Fatalf("MatrixMarket upload: %v", info)
+	}
+}
+
+func TestConcurrentQueriesAndUpdates(t *testing.T) {
+	_, ts := newTestServer(t)
+	base := ts.URL + "/v1/graphs"
+	doJSON(t, "PUT", base+"/g", edgeListBody(), http.StatusCreated)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if w%4 == 0 {
+					body := fmt.Sprintf(`{"op":"add","u":%d,"v":%d}`, (w*10+i)%70, (w+i*7)%70)
+					resp, err := http.Post(base+"/g/edges", "application/json", strings.NewReader(body))
+					if err != nil {
+						errs <- err.Error()
+						return
+					}
+					resp.Body.Close()
+					continue
+				}
+				resp, err := http.Get(fmt.Sprintf("%s/g/query?seed=%d", base, (w*13+i)%70))
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Sprintf("query status %d", resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestAddProgrammatic(t *testing.T) {
+	s := New()
+	g := bear.GenerateErdosRenyi(50, 200, 2)
+	if err := s.Add("er", g, bear.Options{}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := s.Add("", g, bear.Options{}); err == nil {
+		t.Fatal("expected name validation error")
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	doJSON(t, "GET", ts.URL+"/v1/graphs/er", "", http.StatusOK)
+}

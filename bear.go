@@ -49,7 +49,20 @@ type Options = core.Options
 
 // Precomputed holds BEAR's preprocessed matrices and answers queries. It
 // is safe for concurrent use by multiple goroutines.
+//
+// The query methods come in two flavors: Query/QueryDist allocate the
+// result vector, while QueryTo/QueryDistTo write into caller-owned memory
+// and — combined with a reused Workspace — run allocation-free, which is
+// what the serving hot path uses. Single-seed queries additionally take a
+// block-restricted fast path (bit-identical to the general one) that
+// confines the forward half of Algorithm 2 to the seed's diagonal block.
 type Precomputed = core.Precomputed
+
+// Workspace holds the scratch vectors one BEAR solve needs. Acquire one
+// per goroutine from Precomputed.AcquireWorkspace, pass it to QueryTo /
+// QueryDistTo for zero-allocation queries, and return it with
+// ReleaseWorkspace.
+type Workspace = core.Workspace
 
 // Stats reports structural and timing measurements from preprocessing.
 type Stats = core.Stats
@@ -77,8 +90,9 @@ func Preprocess(g *Graph, opts Options) (*Precomputed, error) {
 // (*Precomputed).Save, so preprocessing can be reused across processes.
 func LoadPrecomputed(r io.Reader) (*Precomputed, error) { return core.Load(r) }
 
-// TopK returns the k node ids with the highest scores in descending order,
-// a convenience for ranking applications.
+// TopK returns the k node ids with the highest scores in descending order
+// (ties broken by ascending id), a convenience for ranking applications.
+// It runs in O(n log k) with a bounded min-heap.
 func TopK(scores []float64, k int) []int { return core.TopK(scores, k) }
 
 // SolveIterative computes the RWR vector with the classic power iteration

@@ -13,6 +13,7 @@ import (
 	"bear/internal/bench"
 	"bear/internal/core"
 	"bear/internal/graph"
+	"bear/internal/graph/gen"
 	"bear/internal/rwr"
 )
 
@@ -329,6 +330,76 @@ func BenchmarkQueryBatch(b *testing.B) {
 			}
 		})
 	}
+}
+
+// throughputGraph is the caveman-with-hubs serving benchmark graph used by
+// BenchmarkQueryThroughput (and recorded in BENCH_query.json): strong
+// community structure with a global hub backbone, the regime BEAR's
+// block-diagonal fast path is designed for.
+func throughputGraph() *graph.Graph {
+	return gen.CavemanHubs(gen.CavemanHubsConfig{
+		Communities: 150, Size: 30, PIntra: 0.25, Hubs: 12, HubDeg: 60, Seed: 42,
+	})
+}
+
+// BenchmarkQueryThroughput measures the serving hot path: single-seed RWR
+// queries per second on the caveman-with-hubs graph. Run with -benchmem;
+// before/after numbers live in BENCH_query.json.
+func BenchmarkQueryThroughput(b *testing.B) {
+	g := throughputGraph()
+	p, err := core.Preprocess(g, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("single-seed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Query(i % g.N()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+	b.Run("single-seed-reused", func(b *testing.B) {
+		// The steady-state serving pattern: caller-owned result vector
+		// plus a pooled workspace. This is the configuration that must
+		// show zero allocations per query.
+		dst := make([]float64, g.N())
+		ws := p.AcquireWorkspace()
+		defer p.ReleaseWorkspace(ws)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := p.QueryTo(dst, i%g.N(), ws); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+	b.Run("single-seed+top10", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			scores, err := p.Query(i % g.N())
+			if err != nil {
+				b.Fatal(err)
+			}
+			core.TopK(scores, 10)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+	b.Run("batch64/workers=4", func(b *testing.B) {
+		seeds := make([]int, 64)
+		for i := range seeds {
+			seeds[i] = (i * 31) % g.N()
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.QueryBatch(seeds, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N*len(seeds))/b.Elapsed().Seconds(), "queries/s")
+	})
 }
 
 // BenchmarkParallelPreprocess measures the per-block parallel preprocessing

@@ -9,7 +9,8 @@ import (
 // QueryBatch computes RWR vectors for many seeds, fanning queries out over
 // workers goroutines (0 selects GOMAXPROCS). Results are indexed like
 // seeds. Precomputed is read-only during queries, so the workers share it
-// without locking.
+// without locking; each worker holds one Workspace for its whole share of
+// the batch, so the only per-query allocation is the result vector.
 func (p *Precomputed) QueryBatch(seeds []int, workers int) ([][]float64, error) {
 	for _, s := range seeds {
 		if s < 0 || s >= p.N {
@@ -36,9 +37,11 @@ func (p *Precomputed) QueryBatch(seeds []int, workers int) ([][]float64, error) 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ws := p.AcquireWorkspace()
+			defer p.ReleaseWorkspace(ws)
 			for i := range next {
-				r, err := p.Query(seeds[i])
-				if err != nil {
+				dst := make([]float64, p.N)
+				if err := p.QueryTo(dst, seeds[i], ws); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -46,7 +49,7 @@ func (p *Precomputed) QueryBatch(seeds []int, workers int) ([][]float64, error) 
 					mu.Unlock()
 					continue
 				}
-				out[i] = r
+				out[i] = dst
 			}
 		}()
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"bear/internal/dense"
@@ -105,6 +106,11 @@ type Precomputed struct {
 	N, N1, N2 int
 	C         float64
 	Blocks    []int
+	// BlockOffsets is the prefix-sum of Blocks: diagonal block i of H₁₁
+	// covers internal positions [BlockOffsets[i], BlockOffsets[i+1]). It is
+	// derived from Blocks (never serialized) and shared by BlockOf and the
+	// single-seed fast path.
+	BlockOffsets []int
 
 	Perm    []int // Perm[node id] = internal position
 	InvPerm []int // InvPerm[internal position] = node id
@@ -120,6 +126,20 @@ type Precomputed struct {
 	OutDegree []float64 // weighted out-degree per node, for effective importance
 
 	Stats Stats
+
+	// wsPool recycles query workspaces so steady-state queries allocate
+	// nothing; see AcquireWorkspace. Precomputed must not be copied by
+	// value once queries have run.
+	wsPool sync.Pool
+}
+
+// initDerived fills the fields computed from the serialized ones; it must
+// run after Blocks is final (both Preprocess and Load call it).
+func (p *Precomputed) initDerived() {
+	p.BlockOffsets = make([]int, len(p.Blocks)+1)
+	for i, sz := range p.Blocks {
+		p.BlockOffsets[i+1] = p.BlockOffsets[i] + sz
+	}
 }
 
 // Preprocess runs Algorithm 1 of the paper on g.
@@ -265,6 +285,7 @@ func Preprocess(g *graph.Graph, opts Options) (*Precomputed, error) {
 	p.U2Inv = u2inv
 	p.SPerm = sperm
 	p.OutDegree = weightedOutDegrees(g)
+	p.initDerived()
 	p.Stats = Stats{
 		N: n, M: g.M(), N1: p.N1, N2: p.N2,
 		NumBlocks:      len(sb.Blocks),

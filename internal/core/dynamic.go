@@ -207,9 +207,12 @@ func (d *Dynamic) deltaColumn(u int) []float64 {
 func (d *Dynamic) refreshWoodbury() error {
 	k := len(d.dirty)
 	d.hw = make([][]float64, k)
+	ws := d.p.AcquireWorkspace()
 	for i, u := range d.dirty {
-		d.hw[i] = d.p.solve(d.deltaColumn(u))
+		d.hw[i] = make([]float64, d.p.N)
+		d.p.solveTo(d.hw[i], d.deltaColumn(u), ws)
 	}
+	d.p.ReleaseWorkspace(ws)
 	cap := dense.Identity(k)
 	for i, u := range d.dirty {
 		for j := 0; j < k; j++ {

@@ -3,17 +3,42 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Query computes the RWR score vector for a single seed node (Algorithm 2
-// of the paper). The result is indexed by graph node id.
+// of the paper). The result is indexed by graph node id. The only heap
+// allocation is the returned slice; use QueryTo to avoid even that.
 func (p *Precomputed) Query(seed int) ([]float64, error) {
-	if seed < 0 || seed >= p.N {
-		return nil, fmt.Errorf("core: seed %d out of range [0,%d)", seed, p.N)
+	dst := make([]float64, p.N)
+	if err := p.QueryTo(dst, seed, nil); err != nil {
+		return nil, err
 	}
-	q := make([]float64, p.N)
-	q[seed] = 1
-	return p.QueryDist(q)
+	return dst, nil
+}
+
+// QueryTo computes the RWR score vector for a single seed into dst, which
+// must have length N. A nil ws borrows a pooled workspace; passing an
+// explicit one (per goroutine) makes steady-state queries allocation-free.
+// Single-seed queries take the block-restricted fast path: the forward
+// half of Algorithm 2 touches only the seed's diagonal block (Lemma 1),
+// with results bit-identical to the general path.
+func (p *Precomputed) QueryTo(dst []float64, seed int, ws *Workspace) error {
+	if seed < 0 || seed >= p.N {
+		return fmt.Errorf("core: seed %d out of range [0,%d)", seed, p.N)
+	}
+	if len(dst) != p.N {
+		return fmt.Errorf("core: destination length %d, want %d", len(dst), p.N)
+	}
+	if ws == nil {
+		ws = p.AcquireWorkspace()
+		defer p.ReleaseWorkspace(ws)
+	}
+	p.solveSeedTo(dst, p.Perm[seed], 1, ws)
+	for i := range dst {
+		dst[i] *= p.C
+	}
+	return nil
 }
 
 // QueryDist computes personalized PageRank for an arbitrary starting
@@ -21,78 +46,181 @@ func (p *Precomputed) Query(seed int) ([]float64, error) {
 // non-negative; it is not required to sum to one, and the result scales
 // linearly with it.
 func (p *Precomputed) QueryDist(q []float64) ([]float64, error) {
+	dst := make([]float64, p.N)
+	if err := p.QueryDistTo(dst, q, nil); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// QueryDistTo is QueryDist writing into caller-owned dst (length N); a nil
+// ws borrows a pooled workspace. dst may alias q. Starting vectors with a
+// single nonzero entry are routed to the same block-restricted fast path
+// as QueryTo.
+func (p *Precomputed) QueryDistTo(dst, q []float64, ws *Workspace) error {
 	if len(q) != p.N {
-		return nil, fmt.Errorf("core: starting vector length %d, want %d", len(q), p.N)
+		return fmt.Errorf("core: starting vector length %d, want %d", len(q), p.N)
+	}
+	if len(dst) != p.N {
+		return fmt.Errorf("core: destination length %d, want %d", len(dst), p.N)
 	}
 	for i, v := range q {
 		if v < 0 || math.IsNaN(v) {
-			return nil, fmt.Errorf("core: starting vector entry %d is %g; must be non-negative", i, v)
+			return fmt.Errorf("core: starting vector entry %d is %g; must be non-negative", i, v)
 		}
 	}
-	r := p.solve(q)
-	for i := range r {
-		r[i] *= p.C
+	if ws == nil {
+		ws = p.AcquireWorkspace()
+		defer p.ReleaseWorkspace(ws)
 	}
-	return r, nil
+	p.solveTo(dst, q, ws)
+	for i := range dst {
+		dst[i] *= p.C
+	}
+	return nil
 }
 
 // solve computes H⁻¹ b by block elimination (Algorithm 2 without the c
 // scaling), for an arbitrary right-hand side indexed by graph node id. It
 // is the primitive both QueryDist and the Woodbury update layer build on.
 func (p *Precomputed) solve(b []float64) []float64 {
-	n1, n2 := p.N1, p.N2
+	r := make([]float64, p.N)
+	ws := p.AcquireWorkspace()
+	p.solveTo(r, b, ws)
+	p.ReleaseWorkspace(ws)
+	return r
+}
 
-	// Permute b into BEAR's internal order and split it.
-	bp := make([]float64, p.N)
+// solveTo computes H⁻¹ b into dst using ws for every intermediate, so it
+// performs no heap allocations. A right-hand side with exactly one nonzero
+// dispatches to the block-restricted single-seed path; the results are
+// bit-identical to the general path either way.
+func (p *Precomputed) solveTo(dst, b []float64, ws *Workspace) {
+	support := -1
+	for i, v := range b {
+		if v != 0 {
+			if support >= 0 {
+				support = -1
+				break
+			}
+			support = i
+		}
+	}
+	if support >= 0 {
+		p.solveSeedTo(dst, p.Perm[support], b[support], ws)
+		return
+	}
+	p.solveGeneralTo(dst, b, ws)
+}
+
+// solveGeneralTo is the unrestricted block-elimination solve: permute and
+// split b, forward pass through the spoke factors, Schur-complement solve,
+// back-substitution, and the inverse permutation into dst.
+func (p *Precomputed) solveGeneralTo(dst, b []float64, ws *Workspace) {
+	n1 := p.N1
+	bp := ws.full
 	for node, v := range b {
 		bp[p.Perm[node]] = v
 	}
-	b1 := bp[:n1]
-	b2 := bp[n1:]
+	b1, b2 := bp[:n1], bp[n1:]
 
-	// r₂ = U₂⁻¹ (L₂⁻¹ (b₂ − H₂₁ (U₁⁻¹ (L₁⁻¹ b₁)))), with the pivot
-	// permutation of S's LU applied before the triangular products.
-	t := p.L1Inv.MulVec(b1)
-	t = p.U1Inv.MulVec(t)
+	// t = U₁⁻¹ (L₁⁻¹ b₁), the forward half of Algorithm 2.
+	p.L1Inv.MulVecTo(ws.s1a, b1)
+	p.U1Inv.MulVecTo(ws.s1b, ws.s1a)
+	r2 := p.schurSolveTo(b2, ws.s1b, 0, n1, ws)
+	p.backSolveTo(dst, b1, r2, ws)
+}
+
+// solveSeedTo computes H⁻¹ (val·e_node) into dst for the node at internal
+// position pos. For a spoke seed the forward pass U₁⁻¹L₁⁻¹b₁ is supported
+// only on the seed's diagonal block (Lemma 1: the factors of a
+// block-diagonal matrix are block diagonal), so the two triangular
+// products run over that block's row range and the H₂₁ product over its
+// column range, all located via the precomputed block prefix sums. For a
+// hub seed b₁ = 0 and the forward pass vanishes entirely. Skipped terms
+// are exact zeros, so dst is bit-identical to the general path.
+func (p *Precomputed) solveSeedTo(dst []float64, pos int, val float64, ws *Workspace) {
+	n1, n2 := p.N1, p.N2
+	bp := ws.full
+	for i := range bp {
+		bp[i] = 0
+	}
+	bp[pos] = val
+	b1, b2 := bp[:n1], bp[n1:]
+
 	var r2 []float64
 	if n2 > 0 {
-		y := p.H21.MulVec(t)
-		for i := range y {
-			y[i] = b2[i] - y[i]
+		if pos < n1 {
+			bi := p.blockOfPos(pos)
+			lo, hi := p.BlockOffsets[bi], p.BlockOffsets[bi+1]
+			p.L1Inv.MulVecRangeTo(ws.s1a, b1, lo, hi)
+			p.U1Inv.MulVecRangeTo(ws.s1b, ws.s1a, lo, hi)
+			r2 = p.schurSolveTo(b2, ws.s1b, lo, hi, ws)
+		} else {
+			r2 = p.schurSolveTo(b2, nil, 0, 0, ws)
 		}
-		if p.SPerm != nil {
-			yp := make([]float64, n2)
-			for i, src := range p.SPerm {
-				yp[i] = y[src]
-			}
-			y = yp
-		}
-		r2 = p.L2Inv.MulVec(y)
-		r2 = p.U2Inv.MulVec(r2)
 	}
+	p.backSolveTo(dst, b1, r2, ws)
+}
 
-	// r₁ = U₁⁻¹ (L₁⁻¹ (b₁ − H₁₂ r₂)).
-	z := make([]float64, n1)
-	if n2 > 0 {
+// schurSolveTo computes r₂ = U₂⁻¹ (L₂⁻¹ P (b₂ − H₂₁ t)) where t is valid
+// on rows [lo, hi) and exactly zero elsewhere (an empty range means t = 0
+// and the H₂₁ product is skipped). P is the pivot permutation of S's LU.
+// The returned slice is one of ws's hub-length buffers; nil when n₂ = 0.
+func (p *Precomputed) schurSolveTo(b2, t []float64, lo, hi int, ws *Workspace) []float64 {
+	if p.N2 == 0 {
+		return nil
+	}
+	y, spare := ws.s2a, ws.s2b
+	if hi > lo {
+		p.H21.MulVecColRangeTo(y, t, lo, hi)
+	} else {
+		for i := range y {
+			y[i] = 0
+		}
+	}
+	for i := range y {
+		y[i] = b2[i] - y[i]
+	}
+	if p.SPerm != nil {
+		for i, src := range p.SPerm {
+			spare[i] = y[src]
+		}
+		y, spare = spare, y
+	}
+	p.L2Inv.MulVecTo(spare, y)
+	y, spare = spare, y
+	p.U2Inv.MulVecTo(spare, y)
+	return spare
+}
+
+// backSolveTo computes r₁ = U₁⁻¹ (L₁⁻¹ (b₁ − H₁₂ r₂)) and writes the
+// concatenated solution (r₁ ‖ r₂), permuted back to graph node order,
+// into dst. b₁ must alias ws.full (it is read after scratch reuse).
+func (p *Precomputed) backSolveTo(dst, b1, r2 []float64, ws *Workspace) {
+	n1 := p.N1
+	z := ws.s1a
+	if p.N2 > 0 {
 		p.H12.MulVecTo(z, r2)
+	} else {
+		for i := range z {
+			z[i] = 0
+		}
 	}
 	for i := range z {
 		z[i] = b1[i] - z[i]
 	}
-	r1 := p.L1Inv.MulVec(z)
-	r1 = p.U1Inv.MulVec(r1)
-
-	// Concatenate and permute back to graph node order.
-	r := make([]float64, p.N)
+	p.L1Inv.MulVecTo(ws.s1b, z)
+	p.U1Inv.MulVecTo(ws.s1a, ws.s1b)
+	r1 := ws.s1a
 	for node := 0; node < p.N; node++ {
 		pos := p.Perm[node]
 		if pos < n1 {
-			r[node] = r1[pos]
+			dst[node] = r1[pos]
 		} else {
-			r[node] = r2[pos-n1]
+			dst[node] = r2[pos-n1]
 		}
 	}
-	return r
 }
 
 // QueryPageRank computes global PageRank with damping factor 1−c: the
@@ -145,38 +273,66 @@ func (p *Precomputed) BlockOf(node int) int {
 	if pos >= p.N1 {
 		return -1
 	}
-	// Blocks are consecutive; walk the prefix sums (block count is small
-	// relative to query cost, and this is a debugging accessor).
-	off := 0
-	for i, sz := range p.Blocks {
-		off += sz
-		if pos < off {
-			return i
-		}
-	}
-	return -1
+	return p.blockOfPos(pos)
+}
+
+// blockOfPos maps a spoke's internal position to its diagonal-block index
+// by binary search over the block prefix sums.
+func (p *Precomputed) blockOfPos(pos int) int {
+	return sort.SearchInts(p.BlockOffsets, pos+1) - 1
 }
 
 // TopK returns the k node ids with the highest scores, in descending score
-// order, breaking ties by node id. k is clamped to len(scores).
+// order, breaking ties by node id. k is clamped to [0, len(scores)]. It
+// runs in O(n log k) with a bounded min-heap whose root is the weakest
+// retained candidate, allocating only the result.
 func TopK(scores []float64, k int) []int {
 	if k > len(scores) {
 		k = len(scores)
 	}
-	idx := make([]int, len(scores))
-	for i := range idx {
-		idx[i] = i
+	if k <= 0 {
+		return []int{}
 	}
-	// Partial selection sort is fine for the small k this is used with.
-	for i := 0; i < k; i++ {
-		best := i
-		for j := i + 1; j < len(idx); j++ {
-			a, b := idx[j], idx[best]
-			if scores[a] > scores[b] || (scores[a] == scores[b] && a < b) {
-				best = j
+	// worse reports whether candidate a ranks strictly below b: lower
+	// score, or equal score and higher id.
+	worse := func(a, b int) bool {
+		return scores[a] < scores[b] || (scores[a] == scores[b] && a > b)
+	}
+	h := make([]int, 0, k)
+	for i := range scores {
+		if len(h) < k {
+			// Sift up.
+			h = append(h, i)
+			for c := len(h) - 1; c > 0; {
+				par := (c - 1) / 2
+				if !worse(h[c], h[par]) {
+					break
+				}
+				h[c], h[par] = h[par], h[c]
+				c = par
 			}
+			continue
 		}
-		idx[i], idx[best] = idx[best], idx[i]
+		if worse(i, h[0]) {
+			continue
+		}
+		// Replace the weakest and sift down.
+		h[0] = i
+		for c := 0; ; {
+			l, r, m := 2*c+1, 2*c+2, c
+			if l < k && worse(h[l], h[m]) {
+				m = l
+			}
+			if r < k && worse(h[r], h[m]) {
+				m = r
+			}
+			if m == c {
+				break
+			}
+			h[c], h[m] = h[m], h[c]
+			c = m
+		}
 	}
-	return idx[:k]
+	sort.Slice(h, func(a, b int) bool { return worse(h[b], h[a]) })
+	return h
 }

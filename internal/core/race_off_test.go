@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation adds heap allocations, so allocation-count assertions
+// are skipped under -race.
+const raceEnabled = false

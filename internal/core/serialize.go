@@ -70,6 +70,7 @@ func Load(r io.Reader) (*Precomputed, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
+	p.initDerived()
 	return p, nil
 }
 

@@ -1,0 +1,50 @@
+package core
+
+import "fmt"
+
+// Workspace holds the scratch vectors one block-elimination solve needs:
+// one full-length buffer for the permuted right-hand side, two spoke-length
+// (n₁) buffers ping-ponged through the triangular products, and two
+// hub-length (n₂) buffers for the Schur-complement stage. A Workspace is
+// bound to the Precomputed it was acquired from and is not safe for
+// concurrent use; acquire one per goroutine.
+//
+// Steady-state queries routed through a Workspace perform zero heap
+// allocations: every intermediate of Algorithm 2 lands in one of these
+// buffers, and the *To query variants write the result into caller-owned
+// memory.
+type Workspace struct {
+	full     []float64 // n: permuted right-hand side (b₁ ‖ b₂)
+	s1a, s1b []float64 // n₁ scratch, ping-ponged through triangular products
+	s2a, s2b []float64 // n₂ scratch for the Schur-complement stage
+}
+
+// AcquireWorkspace returns a workspace sized for p, reusing a pooled one
+// when available. Release it with ReleaseWorkspace when done; a workspace
+// may be reused across many queries (one per batch worker is the intended
+// pattern).
+func (p *Precomputed) AcquireWorkspace() *Workspace {
+	if ws, ok := p.wsPool.Get().(*Workspace); ok {
+		return ws
+	}
+	return &Workspace{
+		full: make([]float64, p.N),
+		s1a:  make([]float64, p.N1),
+		s1b:  make([]float64, p.N1),
+		s2a:  make([]float64, p.N2),
+		s2b:  make([]float64, p.N2),
+	}
+}
+
+// ReleaseWorkspace returns ws to p's pool for reuse. ws must have been
+// acquired from p and must not be used after release.
+func (p *Precomputed) ReleaseWorkspace(ws *Workspace) {
+	if ws == nil {
+		return
+	}
+	if len(ws.full) != p.N || len(ws.s1a) != p.N1 || len(ws.s2a) != p.N2 {
+		panic(fmt.Sprintf("core: workspace sized %d/%d/%d released to a %d/%d/%d solver",
+			len(ws.full), len(ws.s1a), len(ws.s2a), p.N, p.N1, p.N2))
+	}
+	p.wsPool.Put(ws)
+}

@@ -245,10 +245,20 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, e.info(name))
 }
 
-// sniffLoad parses either an edge list or a MatrixMarket body.
+// sniffLoad parses either an edge list or a MatrixMarket body. An empty or
+// unreadable body is rejected here so the caller can return a clean 400
+// instead of handing a broken reader to the edge-list parser.
 func sniffLoad(r io.Reader) (*bear.Graph, error) {
 	br := bufio.NewReader(r)
-	head, _ := br.Peek(len("%%MatrixMarket"))
+	head, err := br.Peek(len("%%MatrixMarket"))
+	if len(head) == 0 {
+		// A short-but-valid body yields head bytes alongside io.EOF; no
+		// bytes at all means the body is empty or the read failed outright.
+		if err == nil || err == io.EOF {
+			return nil, errors.New("empty request body")
+		}
+		return nil, fmt.Errorf("reading request body: %w", err)
+	}
 	if strings.EqualFold(string(head), "%%MatrixMarket") {
 		return bear.LoadMatrixMarket(br)
 	}
@@ -288,6 +298,11 @@ func topResults(scores []float64, top int) []ScoredNode {
 	if top <= 0 {
 		top = 10
 	}
+	// Clamp to the score vector so an absurd requested count cannot drive
+	// the ranking loop and response allocation off a cliff.
+	if top > len(scores) {
+		top = len(scores)
+	}
 	ids := bear.TopK(scores, top)
 	out := make([]ScoredNode, len(ids))
 	for i, u := range ids {
@@ -296,7 +311,9 @@ func topResults(scores []float64, top int) []ScoredNode {
 	return out
 }
 
-func parseTop(r *http.Request) (int, error) {
+// parseTop reads the ?top= parameter, defaulting to 10 and clamping to the
+// graph's node count n (?top=1000000000 returns every node, not an error).
+func parseTop(r *http.Request, n int) (int, error) {
 	v := r.URL.Query().Get("top")
 	if v == "" {
 		return 10, nil
@@ -304,6 +321,9 @@ func parseTop(r *http.Request) (int, error) {
 	top, err := strconv.Atoi(v)
 	if err != nil || top <= 0 {
 		return 0, errBadRequest("top %q must be a positive integer", v)
+	}
+	if top > n {
+		top = n
 	}
 	return top, nil
 }
@@ -321,7 +341,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errBadRequest("seed %q must be an integer", seedStr))
 		return
 	}
-	top, err := parseTop(r)
+	top, err := parseTop(r, e.dyn.Graph().N())
 	if err != nil {
 		writeError(w, err)
 		return
@@ -355,12 +375,12 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errNotFound(name))
 		return
 	}
-	top, err := parseTop(r)
+	n := e.dyn.Graph().N()
+	top, err := parseTop(r, n)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	n := e.dyn.Graph().N()
 	q := make([]float64, n)
 	for i := range q {
 		q[i] = 1 / float64(n)

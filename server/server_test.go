@@ -264,6 +264,67 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 	}
 }
 
+// TestConcurrentMixedTraffic hammers one graph with every kind of serving
+// traffic at once — single-seed queries (including oversized top values
+// that must be clamped), distribution queries, PageRank, and edge updates —
+// so the race detector can observe the pooled-workspace query path and the
+// Woodbury update path interleaving.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	_, ts := newTestServer(t)
+	base := ts.URL + "/v1/graphs"
+	doJSON(t, "PUT", base+"/g", edgeListBody(), http.StatusCreated)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 128)
+	get := func(url string) {
+		resp, err := http.Get(url)
+		if err != nil {
+			errs <- err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			errs <- fmt.Sprintf("GET %s: status %d", url, resp.StatusCode)
+		}
+	}
+	post := func(url, body string) {
+		resp, err := http.Post(url, "application/json", strings.NewReader(body))
+		if err != nil {
+			errs <- err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			errs <- fmt.Sprintf("POST %s: status %d", url, resp.StatusCode)
+		}
+	}
+	for w := 0; w < 12; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				switch w % 4 {
+				case 0: // edge updates
+					post(base+"/g/edges",
+						fmt.Sprintf(`{"op":"add","u":%d,"v":%d,"weight":1}`, (w*11+i)%70, (w+i*5)%70))
+				case 1: // queries with an oversized top: must clamp, not 400
+					get(fmt.Sprintf("%s/g/query?seed=%d&top=999999", base, (w*13+i)%70))
+				case 2: // personalized PageRank (distribution query path)
+					post(base+"/g/ppr",
+						fmt.Sprintf(`{"seeds":{"%d":1,"%d":2},"top":5}`, (w*7+i)%70, (w+i*3)%70))
+				default: // uniform PageRank
+					get(base + "/g/pagerank?top=10")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
 func TestAddProgrammatic(t *testing.T) {
 	s := New()
 	g := bear.GenerateErdosRenyi(50, 200, 2)

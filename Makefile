@@ -28,7 +28,10 @@ bench:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzLoadEdgeList -fuzztime=30s ./internal/graph/
 	$(GO) test -run='^$$' -fuzz=FuzzLoadMatrixMarket -fuzztime=30s ./internal/graph/
-	$(GO) test -run='^$$' -fuzz=FuzzLoad -fuzztime=30s ./internal/core/
+	$(GO) test -run='^$$' -fuzz='^FuzzLoad$$' -fuzztime=30s ./internal/core/
+	$(GO) test -run='^$$' -fuzz=FuzzLoadDynamic -fuzztime=30s ./internal/core/
+	$(GO) test -run='^$$' -fuzz=FuzzSniffLoad -fuzztime=30s ./server/
+	$(GO) test -run='^$$' -fuzz=FuzzReadSnapshot -fuzztime=30s ./server/
 
 # Regenerate the paper's tables and figures (writes CSVs to results/).
 experiments:

@@ -1,14 +1,22 @@
 // Package client is the Go client for the bear HTTP query service
 // (package bear/server): upload graphs, run RWR / PPR / PageRank queries,
 // and stream edge updates without linking the solver into the caller.
+//
+// Idempotent requests (queries, stats, health) are retried automatically
+// on transport failures and retryable statuses (429/502/503/504) with
+// exponential backoff, jitter, and respect for the server's Retry-After
+// hint. Mutations — edge updates, uploads, rebuilds — are never retried,
+// since replaying them could apply an update twice.
 package client
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -20,8 +28,10 @@ import (
 
 // Client talks to one bearserve instance.
 type Client struct {
-	base string
-	http *http.Client
+	base       string
+	http       *http.Client
+	maxRetries int
+	retryBase  time.Duration
 }
 
 // Option customizes a Client.
@@ -33,12 +43,26 @@ func WithHTTPClient(h *http.Client) Option {
 	return func(c *Client) { c.http = h }
 }
 
+// WithRetries sets how many times an idempotent request is retried after
+// its first failure (default 2; 0 disables retries).
+func WithRetries(n int) Option {
+	return func(c *Client) { c.maxRetries = n }
+}
+
+// WithRetryBaseDelay sets the first backoff delay; each retry doubles it
+// before jitter (default 100ms).
+func WithRetryBaseDelay(d time.Duration) Option {
+	return func(c *Client) { c.retryBase = d }
+}
+
 // New returns a client for the service at baseURL (e.g.
 // "http://localhost:8080").
 func New(baseURL string, opts ...Option) *Client {
 	c := &Client{
-		base: strings.TrimRight(baseURL, "/"),
-		http: &http.Client{Timeout: 5 * time.Minute},
+		base:       strings.TrimRight(baseURL, "/"),
+		http:       &http.Client{Timeout: 5 * time.Minute},
+		maxRetries: 2,
+		retryBase:  100 * time.Millisecond,
 	}
 	for _, o := range opts {
 		o(c)
@@ -50,14 +74,51 @@ func New(baseURL string, opts ...Option) *Client {
 type APIError struct {
 	Status  int
 	Message string
+	// RetryAfter is the server's Retry-After hint on shed (503) responses,
+	// zero when absent.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("bear service: %s (HTTP %d)", e.Message, e.Status)
 }
 
-func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out interface{}) error {
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+// do sends one request, retrying idempotent ones. body is a byte slice —
+// not a reader — precisely so every retry can replay it from the start.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, idempotent bool, out interface{}) error {
+	attempts := 1
+	if idempotent && c.maxRetries > 0 {
+		attempts += c.maxRetries
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(c.backoff(attempt-1, lastErr))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return lastErr
+			}
+		}
+		err := c.doOnce(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return err
+		}
+	}
+	return lastErr
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out interface{}) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return err
 	}
@@ -70,14 +131,7 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
-		var apiErr struct {
-			Error string `json:"error"`
-		}
-		msg := resp.Status
-		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
-			msg = apiErr.Error
-		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
+		return readAPIError(resp)
 	}
 	if out == nil {
 		return nil
@@ -85,9 +139,62 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+func readAPIError(resp *http.Response) error {
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	msg := resp.Status
+	if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+		msg = apiErr.Error
+	}
+	e := &APIError{Status: resp.StatusCode, Message: msg}
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
+}
+
+// retryable reports whether a failed attempt is worth repeating: shed or
+// gateway errors from the server, or transport failures where no response
+// arrived at all. Context cancellation is the caller's decision and is
+// never retried.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		switch apiErr.Status {
+		case http.StatusTooManyRequests, http.StatusBadGateway,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	return true
+}
+
+// backoff picks the sleep before retry number attempt+1: the server's
+// Retry-After hint when present, otherwise exponential growth from the
+// base delay with ±50% jitter so synchronized clients fan out.
+func (c *Client) backoff(attempt int, err error) time.Duration {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.RetryAfter > 0 {
+		return apiErr.RetryAfter
+	}
+	base := c.retryBase
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	d := base << uint(attempt)
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
 // Health reports whether the service is reachable and healthy.
 func (c *Client) Health(ctx context.Context) error {
-	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+	return c.do(ctx, http.MethodGet, "/healthz", nil, true, nil)
 }
 
 // UploadOptions tunes preprocessing of an uploaded graph.
@@ -118,7 +225,22 @@ func (c *Client) Upload(ctx context.Context, name string, graph io.Reader, opts 
 		path += "?" + q.Encode()
 	}
 	var info server.GraphInfo
-	err := c.do(ctx, http.MethodPut, path, graph, &info)
+	// Uploads stream the (potentially huge) graph body and preprocess on
+	// the server; they are not idempotent-retried. The request is built
+	// directly so the body need not be buffered.
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.base+path, graph)
+	if err != nil {
+		return info, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return info, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return info, readAPIError(resp)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&info)
 	return info, err
 }
 
@@ -127,20 +249,20 @@ func (c *Client) List(ctx context.Context) ([]server.GraphInfo, error) {
 	var out struct {
 		Graphs []server.GraphInfo `json:"graphs"`
 	}
-	err := c.do(ctx, http.MethodGet, "/v1/graphs", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/graphs", nil, true, &out)
 	return out.Graphs, err
 }
 
 // Stats returns stats for one graph.
 func (c *Client) Stats(ctx context.Context, name string) (server.GraphInfo, error) {
 	var info server.GraphInfo
-	err := c.do(ctx, http.MethodGet, "/v1/graphs/"+url.PathEscape(name), nil, &info)
+	err := c.do(ctx, http.MethodGet, "/v1/graphs/"+url.PathEscape(name), nil, true, &info)
 	return info, err
 }
 
 // Delete removes a graph.
 func (c *Client) Delete(ctx context.Context, name string) error {
-	return c.do(ctx, http.MethodDelete, "/v1/graphs/"+url.PathEscape(name), nil, nil)
+	return c.do(ctx, http.MethodDelete, "/v1/graphs/"+url.PathEscape(name), nil, false, nil)
 }
 
 type queryResponse struct {
@@ -151,7 +273,7 @@ type queryResponse struct {
 func (c *Client) Query(ctx context.Context, name string, seed, top int) ([]server.ScoredNode, error) {
 	path := fmt.Sprintf("/v1/graphs/%s/query?seed=%d&top=%d", url.PathEscape(name), seed, top)
 	var out queryResponse
-	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	err := c.do(ctx, http.MethodGet, path, nil, true, &out)
 	return out.Results, err
 }
 
@@ -159,7 +281,7 @@ func (c *Client) Query(ctx context.Context, name string, seed, top int) ([]serve
 func (c *Client) QueryEffectiveImportance(ctx context.Context, name string, seed, top int) ([]server.ScoredNode, error) {
 	path := fmt.Sprintf("/v1/graphs/%s/query?seed=%d&top=%d&ei=1", url.PathEscape(name), seed, top)
 	var out queryResponse
-	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	err := c.do(ctx, http.MethodGet, path, nil, true, &out)
 	return out.Results, err
 }
 
@@ -167,7 +289,7 @@ func (c *Client) QueryEffectiveImportance(ctx context.Context, name string, seed
 func (c *Client) PageRank(ctx context.Context, name string, top int) ([]server.ScoredNode, error) {
 	path := fmt.Sprintf("/v1/graphs/%s/pagerank?top=%d", url.PathEscape(name), top)
 	var out queryResponse
-	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	err := c.do(ctx, http.MethodGet, path, nil, true, &out)
 	return out.Results, err
 }
 
@@ -185,14 +307,19 @@ func (c *Client) PPR(ctx context.Context, name string, seeds map[int]float64, to
 		return nil, err
 	}
 	var out queryResponse
-	err = c.do(ctx, http.MethodPost, "/v1/graphs/"+url.PathEscape(name)+"/ppr", bytes.NewReader(buf), &out)
+	// PPR is a read served over POST (the seed set rides in the body);
+	// replaying it is safe, so it retries like the GET queries.
+	err = c.do(ctx, http.MethodPost, "/v1/graphs/"+url.PathEscape(name)+"/ppr", buf, true, &out)
 	return out.Results, err
 }
 
 // UpdateStatus reports the pending-update state after an edge operation.
 type UpdateStatus struct {
-	Pending int  `json:"pending"`
-	Rebuilt bool `json:"rebuilt"`
+	Pending int `json:"pending"`
+	// Rebuilding reports that the operation tripped the server's rebuild
+	// threshold and a background rebuild is folding the updates in;
+	// queries keep answering from the current state meanwhile.
+	Rebuilding bool `json:"rebuilding"`
 }
 
 func (c *Client) edgeOp(ctx context.Context, name string, payload interface{}) (UpdateStatus, error) {
@@ -201,7 +328,7 @@ func (c *Client) edgeOp(ctx context.Context, name string, payload interface{}) (
 		return UpdateStatus{}, err
 	}
 	var out UpdateStatus
-	err = c.do(ctx, http.MethodPost, "/v1/graphs/"+url.PathEscape(name)+"/edges", bytes.NewReader(buf), &out)
+	err = c.do(ctx, http.MethodPost, "/v1/graphs/"+url.PathEscape(name)+"/edges", buf, false, &out)
 	return out, err
 }
 
@@ -222,5 +349,18 @@ func (c *Client) ReplaceNode(ctx context.Context, name string, u int, dst []int,
 
 // Rebuild folds pending updates into a fresh preprocessing pass.
 func (c *Client) Rebuild(ctx context.Context, name string) error {
-	return c.do(ctx, http.MethodPost, "/v1/graphs/"+url.PathEscape(name)+"/rebuild", nil, nil)
+	return c.do(ctx, http.MethodPost, "/v1/graphs/"+url.PathEscape(name)+"/rebuild", nil, false, nil)
+}
+
+// RebuildAsync starts a background rebuild and returns immediately;
+// queries keep serving the pre-rebuild state until the swap lands. Poll
+// Stats until Rebuilding turns false and Pending drains to see it finish.
+func (c *Client) RebuildAsync(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodPost, "/v1/graphs/"+url.PathEscape(name)+"/rebuild?async=1", nil, false, nil)
+}
+
+// Snapshot asks the server to persist its registry to its configured
+// snapshot path (crash-safe: written to a temp file and renamed).
+func (c *Client) Snapshot(ctx context.Context) error {
+	return c.do(ctx, http.MethodPost, "/v1/snapshot", nil, true, nil)
 }

@@ -4,8 +4,12 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
+	"time"
 
 	"bear"
 	"bear/server"
@@ -104,8 +108,21 @@ func TestClientUpdates(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ReplaceNode: %v", err)
 	}
-	if !st.Rebuilt || st.Pending != 0 {
-		t.Fatalf("expected threshold rebuild: %+v", st)
+	// Hitting the threshold starts a background rebuild; pending drains
+	// once the swap lands.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		stats, err := c.Stats(ctx, "g")
+		if err != nil {
+			t.Fatalf("Stats during rebuild: %v", err)
+		}
+		if stats.Pending == 0 && !stats.Rebuild {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background rebuild never drained: %+v", stats)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 	if _, err := c.RemoveEdge(ctx, "g", 7, 1); err != nil {
 		t.Fatalf("RemoveEdge: %v", err)
@@ -148,6 +165,59 @@ func TestClientAPIErrors(t *testing.T) {
 	if _, err := c.Upload(ctx, "bad", bytes.NewBufferString("garbage input"), UploadOptions{}); err == nil {
 		t.Fatal("expected parse error")
 	}
+}
+
+func TestClientRetriesIdempotentOnly(t *testing.T) {
+	var mu sync.Mutex
+	gets, posts := 0, 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if r.Method == http.MethodGet {
+			gets++
+			if gets < 3 {
+				w.Header().Set("Retry-After", "0")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprint(w, `{"error":"shed"}`)
+				return
+			}
+			fmt.Fprint(w, `{"status":"ok"}`)
+			return
+		}
+		posts++
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"shed"}`)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(2), WithRetryBaseDelay(time.Millisecond))
+	// Two sheds then success: the idempotent GET retries through them.
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health should have retried to success: %v", err)
+	}
+	mu.Lock()
+	if gets != 3 {
+		t.Fatalf("GET attempted %d times, want 3", gets)
+	}
+	mu.Unlock()
+
+	// A mutating POST is never retried, and the error surfaces the
+	// server's Retry-After hint.
+	_, err := c.AddEdge(context.Background(), "g", 0, 1, 1)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("AddEdge error = %v, want 503 APIError", err)
+	}
+	if apiErr.RetryAfter != 7*time.Second {
+		t.Fatalf("RetryAfter = %v, want 7s", apiErr.RetryAfter)
+	}
+	mu.Lock()
+	if posts != 1 {
+		t.Fatalf("POST attempted %d times, want 1 (no retry on mutations)", posts)
+	}
+	mu.Unlock()
 }
 
 func TestClientUnreachable(t *testing.T) {

@@ -5,17 +5,25 @@
 //	bearserve -addr :8080 -graph social=edges.txt -graph web=crawl.mtx
 //
 // Graphs named on the command line are preprocessed at startup; more can
-// be uploaded at runtime with PUT /v1/graphs/{name}. See package
-// bear/server for the API.
+// be uploaded at runtime with PUT /v1/graphs/{name}. With -snapshot the
+// registry is restored from the file at boot (if present), persisted on
+// demand via POST /v1/snapshot, and written one final time on graceful
+// shutdown. SIGINT/SIGTERM drain in-flight requests before exiting. See
+// package bear/server for the API.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"bear"
 	"bear/server"
@@ -40,11 +48,32 @@ func main() {
 	c := flag.Float64("c", 0, "restart probability (default 0.05)")
 	drop := flag.Float64("drop", 0, "drop tolerance ξ (0 = BEAR-Exact)")
 	rebuild := flag.Int("rebuild-threshold", 64, "auto-rebuild after this many updated nodes (0 = never)")
+	maxConc := flag.Int("max-concurrent", 256, "in-flight request bound before load shedding (0 = unbounded)")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline (0 = none)")
+	snapshot := flag.String("snapshot", "", "registry snapshot file: restored at boot, written on shutdown and POST /v1/snapshot")
+	drain := flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
 	flag.Var(&graphs, "graph", "name=path of a graph to preprocess at startup (repeatable)")
 	flag.Parse()
 
 	s := server.New()
 	s.RebuildThreshold = *rebuild
+	s.MaxConcurrent = *maxConc
+	s.QueryTimeout = *queryTimeout
+	s.SnapshotPath = *snapshot
+
+	if *snapshot != "" {
+		switch err := s.LoadSnapshot(*snapshot); {
+		case err == nil:
+			log.Printf("restored registry from %s", *snapshot)
+		case errors.Is(err, os.ErrNotExist):
+			log.Printf("no snapshot at %s; starting empty", *snapshot)
+		default:
+			// A corrupt snapshot is a hard error: silently starting empty
+			// would look like data loss with no explanation.
+			log.Fatalf("bearserve: %v", err)
+		}
+	}
+
 	opts := bear.Options{C: *c, DropTol: *drop}
 	for _, spec := range graphs {
 		name, path, _ := strings.Cut(spec, "=")
@@ -54,9 +83,32 @@ func main() {
 		log.Printf("preprocessed %s from %s", name, path)
 	}
 
-	log.Printf("bearserve listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("bearserve listening on %s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
 		log.Fatalf("bearserve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down: draining in-flight requests (up to %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("bearserve: shutdown: %v", err)
+	}
+	if *snapshot != "" {
+		if err := s.SaveSnapshot(*snapshot); err != nil {
+			log.Fatalf("bearserve: final snapshot: %v", err)
+		}
+		log.Printf("registry snapshot written to %s", *snapshot)
 	}
 }
 

@@ -1,8 +1,15 @@
 package bear
 
 import (
+	"io"
+
 	"bear/internal/core"
 )
+
+// ErrRebuildInProgress is returned by Rebuild when another rebuild of the
+// same Dynamic is already running; queries keep serving the old snapshot
+// throughout, so the caller can simply retry later.
+var ErrRebuildInProgress = core.ErrRebuildInProgress
 
 // Dynamic wraps a preprocessed graph for incremental edge updates — the
 // paper's stated future-work direction. Changing the out-edges of k nodes
@@ -17,3 +24,8 @@ type Dynamic = core.Dynamic
 func NewDynamic(g *Graph, opts Options) (*Dynamic, error) {
 	return core.NewDynamic(g, opts)
 }
+
+// LoadDynamic restores a Dynamic previously written with SaveState,
+// verifying the file's integrity footer. The restored instance answers
+// queries bit-identically to the saved one, pending updates included.
+func LoadDynamic(r io.Reader) (*Dynamic, error) { return core.LoadDynamic(r) }

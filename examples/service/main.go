@@ -54,8 +54,8 @@ func main() {
 		if err != nil {
 			log.Fatalf("add edge: %v", err)
 		}
-		if st.Rebuilt {
-			fmt.Printf("  event %d: index rebuilt automatically\n", i+1)
+		if st.Rebuilding {
+			fmt.Printf("  event %d: background index rebuild started\n", i+1)
 		} else {
 			fmt.Printf("  event %d: %d pending nodes\n", i+1, st.Pending)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -12,6 +13,14 @@ import (
 // without locking; each worker holds one Workspace for its whole share of
 // the batch, so the only per-query allocation is the result vector.
 func (p *Precomputed) QueryBatch(seeds []int, workers int) ([][]float64, error) {
+	return p.QueryBatchCtx(context.Background(), seeds, workers)
+}
+
+// QueryBatchCtx is QueryBatch honoring cancellation and deadlines on ctx:
+// cancellation is observed between individual seed solves (and between the
+// block-solve stages inside each), undone work is abandoned, and the first
+// context error is returned.
+func (p *Precomputed) QueryBatchCtx(ctx context.Context, seeds []int, workers int) ([][]float64, error) {
 	for _, s := range seeds {
 		if s < 0 || s >= p.N {
 			return nil, fmt.Errorf("core: seed %d out of range [0,%d)", s, p.N)
@@ -41,7 +50,7 @@ func (p *Precomputed) QueryBatch(seeds []int, workers int) ([][]float64, error) 
 			defer p.ReleaseWorkspace(ws)
 			for i := range next {
 				dst := make([]float64, p.N)
-				if err := p.QueryTo(dst, seeds[i], ws); err != nil {
+				if err := p.QueryToCtx(ctx, dst, seeds[i], ws); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -53,11 +62,19 @@ func (p *Precomputed) QueryBatch(seeds []int, workers int) ([][]float64, error) 
 			}
 		}()
 	}
+feed:
 	for i := range seeds {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

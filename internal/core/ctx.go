@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+)
+
+// This file threads context.Context through the query path. A BEAR query is
+// a short chain of sparse products, so cancellation is checked at the stage
+// boundaries of Algorithm 2 (forward pass, Schur-complement solve, back
+// substitution) rather than inside the kernels: a cancelled request stops
+// within one stage, and the uncancelled hot path pays only a nil-check per
+// stage (context.Background().Err() is a constant nil).
+
+// QueryCtx is Query honoring cancellation and deadlines on ctx.
+func (p *Precomputed) QueryCtx(ctx context.Context, seed int) ([]float64, error) {
+	dst := make([]float64, p.N)
+	if err := p.QueryToCtx(ctx, dst, seed, nil); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// QueryToCtx is QueryTo honoring cancellation and deadlines on ctx.
+func (p *Precomputed) QueryToCtx(ctx context.Context, dst []float64, seed int, ws *Workspace) error {
+	if seed < 0 || seed >= p.N {
+		return fmt.Errorf("core: seed %d out of range [0,%d)", seed, p.N)
+	}
+	if len(dst) != p.N {
+		return fmt.Errorf("core: destination length %d, want %d", len(dst), p.N)
+	}
+	if ws == nil {
+		ws = p.AcquireWorkspace()
+		defer p.ReleaseWorkspace(ws)
+	}
+	if err := p.solveSeedToCtx(ctx, dst, p.Perm[seed], 1, ws); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] *= p.C
+	}
+	return nil
+}
+
+// QueryDistCtx is QueryDist honoring cancellation and deadlines on ctx.
+func (p *Precomputed) QueryDistCtx(ctx context.Context, q []float64) ([]float64, error) {
+	dst := make([]float64, p.N)
+	if err := p.QueryDistToCtx(ctx, dst, q, nil); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// QueryDistToCtx is QueryDistTo honoring cancellation and deadlines on ctx.
+func (p *Precomputed) QueryDistToCtx(ctx context.Context, dst, q []float64, ws *Workspace) error {
+	if len(q) != p.N {
+		return fmt.Errorf("core: starting vector length %d, want %d", len(q), p.N)
+	}
+	if len(dst) != p.N {
+		return fmt.Errorf("core: destination length %d, want %d", len(dst), p.N)
+	}
+	for i, v := range q {
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("core: starting vector entry %d is %g; must be non-negative", i, v)
+		}
+	}
+	if ws == nil {
+		ws = p.AcquireWorkspace()
+		defer p.ReleaseWorkspace(ws)
+	}
+	if err := p.solveToCtx(ctx, dst, q, ws); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] *= p.C
+	}
+	return nil
+}
+
+// QueryEffectiveImportanceCtx is QueryEffectiveImportance honoring
+// cancellation and deadlines on ctx.
+func (p *Precomputed) QueryEffectiveImportanceCtx(ctx context.Context, seed int) ([]float64, error) {
+	r, err := p.QueryCtx(ctx, seed)
+	if err != nil {
+		return nil, err
+	}
+	for i := range r {
+		if d := p.OutDegree[i]; d > 0 {
+			r[i] /= d
+		}
+	}
+	return r, nil
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -9,6 +11,11 @@ import (
 	"bear/internal/dense"
 	"bear/internal/graph"
 )
+
+// ErrRebuildInProgress is returned by Rebuild when another rebuild of the
+// same Dynamic is already running; the caller can simply wait for it (the
+// in-flight rebuild folds a snapshot of the updates the caller observed).
+var ErrRebuildInProgress = errors.New("core: rebuild already in progress")
 
 // Dynamic extends BEAR toward the paper's stated future work — frequently
 // changing graphs — without re-running the preprocessing phase on every
@@ -39,6 +46,14 @@ type Dynamic struct {
 	// Woodbury cache, invalidated on every update.
 	capMat *dense.Matrix // (I_k + Eᵀ H⁻¹ W)⁻¹
 	hw     [][]float64   // columns of H⁻¹ W, indexed like dirty
+
+	// Rebuild-in-flight state. While a rebuild preprocesses a snapshot of
+	// cur outside the lock, queries keep serving the old precomputed
+	// matrices (Woodbury-corrected through dirty as usual) and sinceSnap
+	// records the nodes updated after the snapshot was taken — they become
+	// the new dirty set when the rebuilt matrices are swapped in.
+	rebuilding bool
+	sinceSnap  []int
 }
 
 // NewDynamic preprocesses g and wraps it for incremental updates.
@@ -63,6 +78,14 @@ func (d *Dynamic) Graph() *graph.Graph {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return d.cur
+}
+
+// Options returns the preprocessing options this Dynamic was built (and
+// rebuilds) with.
+func (d *Dynamic) Options() Options {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.opts
 }
 
 // PendingNodes reports how many nodes' out-edges differ from the
@@ -156,27 +179,66 @@ func (d *Dynamic) markDirty(u int) {
 	// A node whose row went back to its base contents could be dropped
 	// here; detecting that costs a row comparison and the win is rare, so
 	// the node simply stays dirty until the next Rebuild.
-	i := sort.SearchInts(d.dirty, u)
-	if i < len(d.dirty) && d.dirty[i] == u {
-		return
+	d.dirty = insertSorted(d.dirty, u)
+	if d.rebuilding {
+		d.sinceSnap = insertSorted(d.sinceSnap, u)
 	}
-	d.dirty = append(d.dirty, 0)
-	copy(d.dirty[i+1:], d.dirty[i:])
-	d.dirty[i] = u
+}
+
+// insertSorted inserts u into the sorted set s, keeping it sorted and
+// duplicate-free.
+func insertSorted(s []int, u int) []int {
+	i := sort.SearchInts(s, u)
+	if i < len(s) && s[i] == u {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = u
+	return s
 }
 
 // Rebuild folds all accepted updates into a fresh preprocessing pass,
-// resetting the per-query update cost to zero.
+// resetting the per-query update cost to zero. The expensive preprocessing
+// runs outside the lock against an immutable snapshot of the current
+// graph, so queries and updates keep flowing while it runs: queries are
+// answered exactly from the old matrices (Woodbury-corrected), and nodes
+// updated during the rebuild window simply stay dirty — relative to the
+// new base — after the atomic swap. Only one rebuild may run at a time;
+// concurrent calls fail fast with ErrRebuildInProgress.
 func (d *Dynamic) Rebuild() error {
 	d.mu.Lock()
+	if d.rebuilding {
+		d.mu.Unlock()
+		return ErrRebuildInProgress
+	}
+	d.rebuilding = true
+	d.sinceSnap = nil
+	snap := d.cur // Graph is immutable; updates swap in a fresh one
+	d.mu.Unlock()
+
+	p, err := Preprocess(snap, d.opts)
+
+	d.mu.Lock()
 	defer d.mu.Unlock()
-	p, err := Preprocess(d.cur, d.opts)
+	d.rebuilding = false
 	if err != nil {
+		d.sinceSnap = nil
 		return err
 	}
-	d.base, d.p, d.dirty = d.cur, p, nil
+	d.base, d.p = snap, p
+	d.dirty = d.sinceSnap // updates accepted while preprocessing ran
+	d.sinceSnap = nil
 	d.capMat, d.hw = nil, nil
 	return nil
+}
+
+// RebuildInProgress reports whether a Rebuild is currently preprocessing in
+// the background. Queries remain exact (and non-blocking) throughout.
+func (d *Dynamic) RebuildInProgress() bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.rebuilding
 }
 
 // deltaColumn returns δ_u = H'(:,u) − H(:,u) as a dense vector: the column
@@ -203,14 +265,20 @@ func (d *Dynamic) deltaColumn(u int) []float64 {
 }
 
 // refreshWoodbury recomputes the capacitance matrix and the H⁻¹W columns
-// for the current dirty set.
-func (d *Dynamic) refreshWoodbury() error {
+// for the current dirty set. Cancellation is checked between the k
+// column solves; a cancelled refresh leaves the cache invalid so the next
+// query redoes it.
+func (d *Dynamic) refreshWoodbury(ctx context.Context) error {
 	k := len(d.dirty)
 	d.hw = make([][]float64, k)
 	ws := d.p.AcquireWorkspace()
 	for i, u := range d.dirty {
 		d.hw[i] = make([]float64, d.p.N)
-		d.p.solveTo(d.hw[i], d.deltaColumn(u), ws)
+		if err := d.p.solveToCtx(ctx, d.hw[i], d.deltaColumn(u), ws); err != nil {
+			d.p.ReleaseWorkspace(ws)
+			d.hw = nil
+			return err
+		}
 	}
 	d.p.ReleaseWorkspace(ws)
 	cap := dense.Identity(k)
@@ -221,6 +289,7 @@ func (d *Dynamic) refreshWoodbury() error {
 	}
 	inv, err := dense.Inverse(cap)
 	if err != nil {
+		d.hw = nil
 		return fmt.Errorf("core: singular Woodbury capacitance matrix (the update may make H singular): %w", err)
 	}
 	d.capMat = inv
@@ -231,6 +300,13 @@ func (d *Dynamic) refreshWoodbury() error {
 // arbitrary starting distribution, correcting the preprocessed solution
 // for all pending updates.
 func (d *Dynamic) QueryDist(q []float64) ([]float64, error) {
+	return d.QueryDistCtx(context.Background(), q)
+}
+
+// QueryDistCtx is QueryDist honoring cancellation and deadlines on ctx,
+// checked between the block-elimination stages and between the Woodbury
+// correction terms.
+func (d *Dynamic) QueryDistCtx(ctx context.Context, q []float64) ([]float64, error) {
 	// Ensure the Woodbury cache exists, then answer under the read lock so
 	// queries run in parallel. A concurrent update between the lock
 	// transitions invalidates the cache again, so loop until it is seen
@@ -239,12 +315,12 @@ func (d *Dynamic) QueryDist(q []float64) ([]float64, error) {
 		d.mu.RLock()
 		if d.capMat != nil || len(d.dirty) == 0 {
 			defer d.mu.RUnlock()
-			return d.queryDistLocked(q)
+			return d.queryDistLocked(ctx, q)
 		}
 		d.mu.RUnlock()
 		d.mu.Lock()
 		if d.capMat == nil && len(d.dirty) > 0 {
-			if err := d.refreshWoodbury(); err != nil {
+			if err := d.refreshWoodbury(ctx); err != nil {
 				d.mu.Unlock()
 				return nil, err
 			}
@@ -253,7 +329,7 @@ func (d *Dynamic) QueryDist(q []float64) ([]float64, error) {
 	}
 }
 
-func (d *Dynamic) queryDistLocked(q []float64) ([]float64, error) {
+func (d *Dynamic) queryDistLocked(ctx context.Context, q []float64) ([]float64, error) {
 	if len(q) != d.cur.N() {
 		return nil, fmt.Errorf("core: starting vector length %d, want %d", len(q), d.cur.N())
 	}
@@ -262,17 +338,26 @@ func (d *Dynamic) queryDistLocked(q []float64) ([]float64, error) {
 			return nil, fmt.Errorf("core: starting vector entry %d is %g; must be non-negative", i, v)
 		}
 	}
-	x := d.p.solve(q)
+	x := make([]float64, d.p.N)
+	ws := d.p.AcquireWorkspace()
+	err := d.p.solveToCtx(ctx, x, q, ws)
+	d.p.ReleaseWorkspace(ws)
+	if err != nil {
+		return nil, err
+	}
 	k := len(d.dirty)
 	if k > 0 {
 		// α = capMat · (Eᵀ x); r = x − (H⁻¹W) α. The cache was built by
-		// QueryDist before taking the read lock.
+		// QueryDistCtx before taking the read lock.
 		y := make([]float64, k)
 		for i, u := range d.dirty {
 			y[i] = x[u]
 		}
 		alpha := d.capMat.MulVec(y)
 		for i := range d.hw {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			a := alpha[i]
 			if a == 0 {
 				continue
@@ -291,11 +376,16 @@ func (d *Dynamic) queryDistLocked(q []float64) ([]float64, error) {
 
 // Query computes exact RWR scores on the current graph for a single seed.
 func (d *Dynamic) Query(seed int) ([]float64, error) {
+	return d.QueryCtx(context.Background(), seed)
+}
+
+// QueryCtx is Query honoring cancellation and deadlines on ctx.
+func (d *Dynamic) QueryCtx(ctx context.Context, seed int) ([]float64, error) {
 	n := d.Graph().N()
 	if seed < 0 || seed >= n {
 		return nil, fmt.Errorf("core: seed %d out of range [0,%d)", seed, n)
 	}
 	q := make([]float64, n)
 	q[seed] = 1
-	return d.QueryDist(q)
+	return d.QueryDistCtx(ctx, q)
 }

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"bear/internal/graph"
+)
+
+// dynMagic identifies a serialized Dynamic: preprocessing options, base
+// graph, precomputed matrices, and — if updates are pending — the current
+// graph and dirty set. The file carries the same length/CRC32 footer as
+// the v2 precomputed format, so a truncated or bit-flipped snapshot is
+// rejected instead of restoring silent garbage.
+var dynMagic = [8]byte{'B', 'E', 'A', 'R', 'D', 'Y', '0', '1'}
+
+// SaveState serializes the full dynamic-serving state: a restored Dynamic
+// answers every query bit-identically to this one, including the exact
+// Woodbury corrections for pending updates. The state captured is the last
+// committed one; an in-flight background Rebuild is not waited for.
+func (d *Dynamic) SaveState(w io.Writer) error {
+	d.mu.RLock()
+	base, cur, p, opts := d.base, d.cur, d.p, d.opts
+	dirty := append([]int(nil), d.dirty...)
+	d.mu.RUnlock()
+
+	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
+	e := &encoder{w: cw}
+	e.bytes(dynMagic[:])
+	e.f64(opts.C)
+	e.f64(opts.DropTol)
+	e.f64(opts.HubRatio)
+	e.i64(int64(opts.K))
+	e.i64(int64(opts.DenseSchurCutoff))
+	e.i64(int64(opts.Workers))
+	e.bool(opts.Laplacian)
+	e.bool(opts.NoHubOrder)
+	encodeGraph(e, base)
+	p.encodePayload(e)
+	e.ints(dirty)
+	if len(dirty) == 0 {
+		e.bool(false) // cur == base; don't store the graph twice
+	} else {
+		e.bool(true)
+		encodeGraph(e, cur)
+	}
+	if e.err != nil {
+		return fmt.Errorf("core: saving dynamic state: %w", e.err)
+	}
+	var foot [footerLen]byte
+	binary.LittleEndian.PutUint64(foot[:8], uint64(cw.n))
+	binary.LittleEndian.PutUint32(foot[8:], cw.sum)
+	if _, err := bw.Write(foot[:]); err != nil {
+		return fmt.Errorf("core: saving dynamic state: %w", err)
+	}
+	return bw.Flush()
+}
+
+// LoadDynamic reads state previously written by SaveState, verifying the
+// integrity footer. On any error — bad magic, truncation, CRC mismatch,
+// or inconsistent contents — it returns nil and the error; it never
+// returns a partially populated Dynamic.
+func LoadDynamic(r io.Reader) (*Dynamic, error) {
+	cr := &crcReader{r: bufio.NewReader(r)}
+	d := &decoder{r: cr}
+	var got [8]byte
+	d.bytes(got[:])
+	if d.err != nil {
+		return nil, fmt.Errorf("core: loading dynamic state: %w", d.err)
+	}
+	if got != dynMagic {
+		return nil, fmt.Errorf("core: bad magic %q; not a BEAR dynamic-state file", got[:])
+	}
+	var opts Options
+	opts.C = d.f64()
+	opts.DropTol = d.f64()
+	opts.HubRatio = d.f64()
+	opts.K = int(d.i64())
+	opts.DenseSchurCutoff = int(d.i64())
+	opts.Workers = int(d.i64())
+	opts.Laplacian = d.bool()
+	opts.NoHubOrder = d.bool()
+	base := decodeGraph(d)
+	if d.err != nil {
+		return nil, fmt.Errorf("core: loading dynamic state: %w", d.err)
+	}
+	p, err := decodePayload(d)
+	if err != nil {
+		return nil, err
+	}
+	dirty := d.ints()
+	cur := base
+	if d.bool() {
+		cur = decodeGraph(d)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("core: loading dynamic state: %w", d.err)
+	}
+	if err := cr.checkFooter(); err != nil {
+		return nil, err
+	}
+	return RestoreDynamic(base, cur, p, dirty, opts)
+}
+
+// RestoreDynamic reassembles a Dynamic from its components: the base graph
+// the precomputed matrices reflect, the current graph with all accepted
+// updates applied, and the sorted dirty-node set. It validates the pieces
+// against each other so a Dynamic can only be built from a consistent
+// state.
+func RestoreDynamic(base, cur *graph.Graph, p *Precomputed, dirty []int, opts Options) (*Dynamic, error) {
+	if base == nil || cur == nil || p == nil {
+		return nil, fmt.Errorf("core: restore from nil component")
+	}
+	if base.N() != p.N || cur.N() != p.N {
+		return nil, fmt.Errorf("core: restore size mismatch: base n=%d cur n=%d precomputed n=%d",
+			base.N(), cur.N(), p.N)
+	}
+	for i, u := range dirty {
+		if u < 0 || u >= p.N {
+			return nil, fmt.Errorf("core: restore dirty node %d out of range [0,%d)", u, p.N)
+		}
+		if i > 0 && dirty[i-1] >= u {
+			return nil, fmt.Errorf("core: restore dirty set not sorted and unique at index %d", i)
+		}
+	}
+	if len(dirty) == 0 && cur != base && cur.M() != base.M() {
+		return nil, fmt.Errorf("core: restore has no dirty nodes but base and current graphs differ")
+	}
+	return &Dynamic{base: base, cur: cur, p: p, opts: opts, dirty: dirty}, nil
+}
+
+// encodeGraph writes a graph exactly: node count, then the destination and
+// weight slices of each node's out-edges. Weights round-trip bit-for-bit.
+func encodeGraph(e *encoder, g *graph.Graph) {
+	n := g.N()
+	e.i64(int64(n))
+	for u := 0; u < n; u++ {
+		dst, w := g.Out(u)
+		e.ints(dst)
+		e.floats(w)
+	}
+}
+
+// decodeGraph is the inverse of encodeGraph. Every edge is validated
+// before it reaches the builder (which panics on invalid input), so a
+// corrupt stream fails with an error, never a panic.
+func decodeGraph(d *decoder) *graph.Graph {
+	n := int(d.i64())
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > maxSliceLen {
+		d.err = fmt.Errorf("corrupt graph node count %d", n)
+		return nil
+	}
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		dst := d.ints()
+		w := d.floats()
+		if d.err != nil {
+			return nil
+		}
+		if len(dst) != len(w) {
+			d.err = fmt.Errorf("corrupt graph row %d: %d destinations, %d weights", u, len(dst), len(w))
+			return nil
+		}
+		for k := range dst {
+			if dst[k] < 0 || dst[k] >= n {
+				d.err = fmt.Errorf("corrupt graph edge %d->%d out of range n=%d", u, dst[k], n)
+				return nil
+			}
+			if w[k] < 0 || math.IsNaN(w[k]) || math.IsInf(w[k], 0) {
+				d.err = fmt.Errorf("corrupt graph edge %d->%d weight %g", u, dst[k], w[k])
+				return nil
+			}
+			b.AddEdge(u, dst[k], w[k])
+		}
+	}
+	return b.Build()
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -17,7 +18,9 @@ import (
 func generalQuery(p *Precomputed, q []float64) []float64 {
 	dst := make([]float64, p.N)
 	ws := p.AcquireWorkspace()
-	p.solveGeneralTo(dst, q, ws)
+	if err := p.solveGeneralToCtx(context.Background(), dst, q, ws); err != nil {
+		panic(err)
+	}
 	p.ReleaseWorkspace(ws)
 	for i := range dst {
 		dst[i] *= p.C

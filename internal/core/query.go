@@ -1,8 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"math"
 	"sort"
 )
 
@@ -22,23 +22,10 @@ func (p *Precomputed) Query(seed int) ([]float64, error) {
 // explicit one (per goroutine) makes steady-state queries allocation-free.
 // Single-seed queries take the block-restricted fast path: the forward
 // half of Algorithm 2 touches only the seed's diagonal block (Lemma 1),
-// with results bit-identical to the general path.
+// with results bit-identical to the general path. QueryToCtx additionally
+// honors cancellation.
 func (p *Precomputed) QueryTo(dst []float64, seed int, ws *Workspace) error {
-	if seed < 0 || seed >= p.N {
-		return fmt.Errorf("core: seed %d out of range [0,%d)", seed, p.N)
-	}
-	if len(dst) != p.N {
-		return fmt.Errorf("core: destination length %d, want %d", len(dst), p.N)
-	}
-	if ws == nil {
-		ws = p.AcquireWorkspace()
-		defer p.ReleaseWorkspace(ws)
-	}
-	p.solveSeedTo(dst, p.Perm[seed], 1, ws)
-	for i := range dst {
-		dst[i] *= p.C
-	}
-	return nil
+	return p.QueryToCtx(context.Background(), dst, seed, ws)
 }
 
 // QueryDist computes personalized PageRank for an arbitrary starting
@@ -56,28 +43,9 @@ func (p *Precomputed) QueryDist(q []float64) ([]float64, error) {
 // QueryDistTo is QueryDist writing into caller-owned dst (length N); a nil
 // ws borrows a pooled workspace. dst may alias q. Starting vectors with a
 // single nonzero entry are routed to the same block-restricted fast path
-// as QueryTo.
+// as QueryTo. QueryDistToCtx additionally honors cancellation.
 func (p *Precomputed) QueryDistTo(dst, q []float64, ws *Workspace) error {
-	if len(q) != p.N {
-		return fmt.Errorf("core: starting vector length %d, want %d", len(q), p.N)
-	}
-	if len(dst) != p.N {
-		return fmt.Errorf("core: destination length %d, want %d", len(dst), p.N)
-	}
-	for i, v := range q {
-		if v < 0 || math.IsNaN(v) {
-			return fmt.Errorf("core: starting vector entry %d is %g; must be non-negative", i, v)
-		}
-	}
-	if ws == nil {
-		ws = p.AcquireWorkspace()
-		defer p.ReleaseWorkspace(ws)
-	}
-	p.solveTo(dst, q, ws)
-	for i := range dst {
-		dst[i] *= p.C
-	}
-	return nil
+	return p.QueryDistToCtx(context.Background(), dst, q, ws)
 }
 
 // solve computes H⁻¹ b by block elimination (Algorithm 2 without the c
@@ -96,6 +64,11 @@ func (p *Precomputed) solve(b []float64) []float64 {
 // dispatches to the block-restricted single-seed path; the results are
 // bit-identical to the general path either way.
 func (p *Precomputed) solveTo(dst, b []float64, ws *Workspace) {
+	// context.Background is never cancelled, so the error is always nil.
+	_ = p.solveToCtx(context.Background(), dst, b, ws)
+}
+
+func (p *Precomputed) solveToCtx(ctx context.Context, dst, b []float64, ws *Workspace) error {
 	support := -1
 	for i, v := range b {
 		if v != 0 {
@@ -107,16 +80,19 @@ func (p *Precomputed) solveTo(dst, b []float64, ws *Workspace) {
 		}
 	}
 	if support >= 0 {
-		p.solveSeedTo(dst, p.Perm[support], b[support], ws)
-		return
+		return p.solveSeedToCtx(ctx, dst, p.Perm[support], b[support], ws)
 	}
-	p.solveGeneralTo(dst, b, ws)
+	return p.solveGeneralToCtx(ctx, dst, b, ws)
 }
 
-// solveGeneralTo is the unrestricted block-elimination solve: permute and
-// split b, forward pass through the spoke factors, Schur-complement solve,
-// back-substitution, and the inverse permutation into dst.
-func (p *Precomputed) solveGeneralTo(dst, b []float64, ws *Workspace) {
+// solveGeneralToCtx is the unrestricted block-elimination solve: permute
+// and split b, forward pass through the spoke factors, Schur-complement
+// solve, back-substitution, and the inverse permutation into dst.
+// Cancellation is checked between the stages.
+func (p *Precomputed) solveGeneralToCtx(ctx context.Context, dst, b []float64, ws *Workspace) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	n1 := p.N1
 	bp := ws.full
 	for node, v := range b {
@@ -127,11 +103,18 @@ func (p *Precomputed) solveGeneralTo(dst, b []float64, ws *Workspace) {
 	// t = U₁⁻¹ (L₁⁻¹ b₁), the forward half of Algorithm 2.
 	p.L1Inv.MulVecTo(ws.s1a, b1)
 	p.U1Inv.MulVecTo(ws.s1b, ws.s1a)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	r2 := p.schurSolveTo(b2, ws.s1b, 0, n1, ws)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	p.backSolveTo(dst, b1, r2, ws)
+	return nil
 }
 
-// solveSeedTo computes H⁻¹ (val·e_node) into dst for the node at internal
+// solveSeedToCtx computes H⁻¹ (val·e_node) into dst for the node at internal
 // position pos. For a spoke seed the forward pass U₁⁻¹L₁⁻¹b₁ is supported
 // only on the seed's diagonal block (Lemma 1: the factors of a
 // block-diagonal matrix are block diagonal), so the two triangular
@@ -139,7 +122,11 @@ func (p *Precomputed) solveGeneralTo(dst, b []float64, ws *Workspace) {
 // column range, all located via the precomputed block prefix sums. For a
 // hub seed b₁ = 0 and the forward pass vanishes entirely. Skipped terms
 // are exact zeros, so dst is bit-identical to the general path.
-func (p *Precomputed) solveSeedTo(dst []float64, pos int, val float64, ws *Workspace) {
+// Cancellation is checked between the stages.
+func (p *Precomputed) solveSeedToCtx(ctx context.Context, dst []float64, pos int, val float64, ws *Workspace) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	n1, n2 := p.N1, p.N2
 	bp := ws.full
 	for i := range bp {
@@ -155,12 +142,19 @@ func (p *Precomputed) solveSeedTo(dst []float64, pos int, val float64, ws *Works
 			lo, hi := p.BlockOffsets[bi], p.BlockOffsets[bi+1]
 			p.L1Inv.MulVecRangeTo(ws.s1a, b1, lo, hi)
 			p.U1Inv.MulVecRangeTo(ws.s1b, ws.s1a, lo, hi)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			r2 = p.schurSolveTo(b2, ws.s1b, lo, hi, ws)
 		} else {
 			r2 = p.schurSolveTo(b2, nil, 0, 0, ws)
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	p.backSolveTo(dst, b1, r2, ws)
+	return nil
 }
 
 // schurSolveTo computes r₂ = U₂⁻¹ (L₂⁻¹ P (b₂ − H₂₁ t)) where t is valid

@@ -4,21 +4,51 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
 	"bear/internal/sparse"
 )
 
-// magic identifies the BEAR precomputed-matrix file format, version 1.
+// magic identifies the BEAR precomputed-matrix file format, version 1:
+// payload only, no integrity footer. Still readable, never written.
 var magic = [8]byte{'B', 'E', 'A', 'R', 'P', 'C', '0', '1'}
 
-// Save writes the precomputed matrices in a compact binary format so that
-// the preprocessing phase can be paid once and reused across processes.
+// magic2 identifies version 2 of the format: the same payload followed by
+// an integrity footer — the byte length of everything before the footer
+// (8 bytes, little endian) and the IEEE CRC32 of those same bytes (4
+// bytes) — so truncated or bit-flipped files are rejected loudly instead
+// of deserializing into silent garbage.
+var magic2 = [8]byte{'B', 'E', 'A', 'R', 'P', 'C', '0', '2'}
+
+// footerLen is the size of the v2 integrity footer.
+const footerLen = 12
+
+// Save writes the precomputed matrices in a compact binary format (version
+// 2, CRC-protected) so that the preprocessing phase can be paid once and
+// reused across processes.
 func (p *Precomputed) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	e := &encoder{w: bw}
-	e.bytes(magic[:])
+	cw := &crcWriter{w: bw}
+	e := &encoder{w: cw}
+	e.bytes(magic2[:])
+	p.encodePayload(e)
+	if e.err != nil {
+		return fmt.Errorf("core: saving precomputed matrices: %w", e.err)
+	}
+	var foot [footerLen]byte
+	binary.LittleEndian.PutUint64(foot[:8], uint64(cw.n))
+	binary.LittleEndian.PutUint32(foot[8:], cw.sum)
+	if _, err := bw.Write(foot[:]); err != nil {
+		return fmt.Errorf("core: saving precomputed matrices: %w", err)
+	}
+	return bw.Flush()
+}
+
+// encodePayload writes every serialized field (everything after the magic,
+// before the footer). Shared by Save and the Dynamic state snapshot.
+func (p *Precomputed) encodePayload(e *encoder) {
 	e.i64(int64(p.N))
 	e.i64(int64(p.N1))
 	e.i64(int64(p.N2))
@@ -31,21 +61,12 @@ func (p *Precomputed) Save(w io.Writer) error {
 	for _, m := range []*sparse.CSR{p.L1Inv, p.U1Inv, p.H12, p.H21, p.L2Inv, p.U2Inv} {
 		e.csr(m)
 	}
-	if e.err != nil {
-		return fmt.Errorf("core: saving precomputed matrices: %w", e.err)
-	}
-	return bw.Flush()
 }
 
-// Load reads matrices previously written by Save.
-func Load(r io.Reader) (*Precomputed, error) {
-	br := bufio.NewReader(r)
-	d := &decoder{r: br}
-	var got [8]byte
-	d.bytes(got[:])
-	if d.err == nil && got != magic {
-		return nil, fmt.Errorf("core: bad magic %q; not a BEAR precomputed file", got[:])
-	}
+// decodePayload is the inverse of encodePayload: it decodes, validates,
+// and derives. Any error yields a nil Precomputed — never a partially
+// populated one.
+func decodePayload(d *decoder) (*Precomputed, error) {
 	p := &Precomputed{}
 	p.N = int(d.i64())
 	p.N1 = int(d.i64())
@@ -72,6 +93,80 @@ func Load(r io.Reader) (*Precomputed, error) {
 	}
 	p.initDerived()
 	return p, nil
+}
+
+// Load reads matrices previously written by Save. Version-2 files are
+// verified against their length/CRC32 footer; legacy version-1 files are
+// accepted without an integrity check.
+func Load(r io.Reader) (*Precomputed, error) {
+	cr := &crcReader{r: bufio.NewReader(r)}
+	d := &decoder{r: cr}
+	var got [8]byte
+	d.bytes(got[:])
+	if d.err != nil {
+		return nil, fmt.Errorf("core: loading precomputed matrices: %w", d.err)
+	}
+	switch got {
+	case magic: // legacy v1: no footer
+		return decodePayload(d)
+	case magic2:
+		p, err := decodePayload(d)
+		if err != nil {
+			return nil, err
+		}
+		if err := cr.checkFooter(); err != nil {
+			return nil, err
+		}
+		return p, nil
+	default:
+		return nil, fmt.Errorf("core: bad magic %q; not a BEAR precomputed file", got[:])
+	}
+}
+
+// crcWriter counts and checksums everything written through it.
+type crcWriter struct {
+	w   io.Writer
+	n   int64
+	sum uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.sum = crc32.Update(c.sum, crc32.IEEETable, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+// crcReader counts and checksums everything read through it.
+type crcReader struct {
+	r   io.Reader
+	n   int64
+	sum uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.sum = crc32.Update(c.sum, crc32.IEEETable, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+// checkFooter reads the 12-byte integrity footer from the underlying
+// reader (not through the checksum) and verifies it against the bytes
+// consumed so far.
+func (c *crcReader) checkFooter() error {
+	wantN, wantSum := c.n, c.sum
+	var foot [footerLen]byte
+	if _, err := io.ReadFull(c.r, foot[:]); err != nil {
+		return fmt.Errorf("core: truncated file: missing integrity footer: %w", err)
+	}
+	if gotN := int64(binary.LittleEndian.Uint64(foot[:8])); gotN != wantN {
+		return fmt.Errorf("core: corrupt file: footer records %d payload bytes, read %d", gotN, wantN)
+	}
+	if gotSum := binary.LittleEndian.Uint32(foot[8:]); gotSum != wantSum {
+		return fmt.Errorf("core: corrupt file: CRC32 mismatch (stored %08x, computed %08x)", gotSum, wantSum)
+	}
+	return nil
 }
 
 func (p *Precomputed) validate() error {
@@ -168,6 +263,14 @@ func (e *encoder) i64(v int64) {
 
 func (e *encoder) f64(v float64) { e.i64(int64(math.Float64bits(v))) }
 
+func (e *encoder) bool(v bool) {
+	if v {
+		e.i64(1)
+	} else {
+		e.i64(0)
+	}
+}
+
 func (e *encoder) ints(v []int) {
 	e.i64(int64(len(v)))
 	for _, x := range v {
@@ -212,6 +315,20 @@ func (d *decoder) i64() int64 {
 }
 
 func (d *decoder) f64() float64 { return math.Float64frombits(uint64(d.i64())) }
+
+func (d *decoder) bool() bool {
+	switch d.i64() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("corrupt boolean field")
+		}
+		return false
+	}
+}
 
 const maxSliceLen = 1 << 33 // sanity bound against corrupt headers
 

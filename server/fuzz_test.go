@@ -1,0 +1,62 @@
+package server
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bear"
+)
+
+// FuzzSniffLoad throws arbitrary upload bodies at the format sniffer and
+// the parsers behind it: no input may panic, and whatever parses must be
+// a usable graph.
+func FuzzSniffLoad(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("0 1\n1 2\n"))
+	f.Add([]byte("0 1 2.5\n# comment\n3 4\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate real general\n3 3 1\n1 2 1\n"))
+	f.Add([]byte("%%matrixmarket garbage"))
+	f.Add([]byte("not numbers at all"))
+	f.Add([]byte("0 1\n\xff\xfe binary junk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := sniffLoad(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if g == nil {
+			t.Fatal("sniffLoad returned nil graph with nil error")
+		}
+		_ = g.N()
+	})
+}
+
+// FuzzReadSnapshot feeds arbitrary bytes to the registry restorer; corrupt
+// input must error out without panicking or registering partial state.
+func FuzzReadSnapshot(f *testing.F) {
+	s := New()
+	g, err := sniffLoad(strings.NewReader("0 1\n1 2\n2 0\n"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := s.Add("g", g, bear.Options{}); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("BEARSV01 junk"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fresh := New()
+		if err := fresh.ReadSnapshot(bytes.NewReader(data)); err != nil {
+			if len(fresh.graphs) != 0 {
+				t.Fatal("failed restore left graphs registered")
+			}
+		}
+	})
+}

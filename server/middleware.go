@@ -1,0 +1,91 @@
+package server
+
+import (
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+)
+
+// StatusClientClosedRequest is the (de-facto standard, nginx-originated)
+// status reported when the client went away before the query finished.
+const StatusClientClosedRequest = 499
+
+// withRecovery converts a handler panic into a logged 500 instead of
+// killing the connection with an opaque EOF. http.ErrAbortHandler keeps
+// its special meaning and is re-raised untouched.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			// If the handler already wrote a response this write fails
+			// silently, which is the best that can be done post-panic.
+			writeJSON(w, http.StatusInternalServerError,
+				map[string]string{"error": "internal server error"})
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withAdmission bounds the number of in-flight requests. A request that
+// cannot get a slot within AcquireTimeout is shed with 503 + Retry-After
+// rather than queueing unboundedly; a client that gives up while waiting
+// gets 499. Health checks are routed around this middleware so probes
+// still answer under overload.
+func (s *Server) withAdmission(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.MaxConcurrent <= 0 {
+			next.ServeHTTP(w, r)
+			return
+		}
+		s.semOnce.Do(func() { s.sem = make(chan struct{}, s.MaxConcurrent) })
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			// Saturated: wait briefly for a slot, then shed.
+			timeout := s.AcquireTimeout
+			if timeout <= 0 {
+				timeout = 250 * time.Millisecond
+			}
+			t := time.NewTimer(timeout)
+			defer t.Stop()
+			select {
+			case s.sem <- struct{}{}:
+			case <-t.C:
+				w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+				writeJSON(w, http.StatusServiceUnavailable,
+					map[string]string{"error": "server at capacity; retry later"})
+				return
+			case <-r.Context().Done():
+				writeJSON(w, StatusClientClosedRequest,
+					map[string]string{"error": "client closed request"})
+				return
+			}
+		}
+		defer func() { <-s.sem }()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) retryAfterSeconds() int {
+	if s.RetryAfter > 0 {
+		return int((s.RetryAfter + time.Second - 1) / time.Second)
+	}
+	return 1
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.ErrorLog != nil {
+		s.ErrorLog.Printf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}

@@ -8,10 +8,13 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -35,6 +38,36 @@ type Server struct {
 
 	// MaxBodyBytes caps upload sizes (default 256 MiB).
 	MaxBodyBytes int64
+
+	// MaxConcurrent bounds in-flight /v1 requests (default 256). Requests
+	// beyond the bound wait up to AcquireTimeout for a slot and are then
+	// shed with 503 + Retry-After. Zero or negative disables admission
+	// control. Health checks bypass the bound.
+	MaxConcurrent int
+
+	// AcquireTimeout is how long a request waits for an admission slot
+	// before being shed (default 250ms).
+	AcquireTimeout time.Duration
+
+	// RetryAfter is the hint sent with shed requests (default 1s; rounded
+	// up to whole seconds for the Retry-After header).
+	RetryAfter time.Duration
+
+	// QueryTimeout bounds each query's compute time; queries exceeding it
+	// return 504. Zero disables the per-request deadline (client
+	// disconnects still cancel the work either way).
+	QueryTimeout time.Duration
+
+	// SnapshotPath is where POST /v1/snapshot persists the registry.
+	// Empty disables the endpoint.
+	SnapshotPath string
+
+	// ErrorLog receives panic stacks and background-rebuild failures
+	// (default: the log package's standard logger).
+	ErrorLog *log.Logger
+
+	sem     chan struct{}
+	semOnce sync.Once
 }
 
 type entry struct {
@@ -49,6 +82,9 @@ func New() *Server {
 		graphs:           make(map[string]*entry),
 		RebuildThreshold: 64,
 		MaxBodyBytes:     256 << 20,
+		MaxConcurrent:    256,
+		AcquireTimeout:   250 * time.Millisecond,
+		RetryAfter:       time.Second,
 	}
 }
 
@@ -63,22 +99,41 @@ func New() *Server {
 //	GET    /v1/graphs/{name}/pagerank?top=
 //	POST   /v1/graphs/{name}/ppr      (body: {"seeds":{"3":0.5},"top":10})
 //	POST   /v1/graphs/{name}/edges    (body: {"op":"add","u":1,"v":2,"w":1})
-//	POST   /v1/graphs/{name}/rebuild
+//	POST   /v1/graphs/{name}/rebuild  (?async=1 for a non-blocking rebuild)
+//	POST   /v1/snapshot               (persist the registry to SnapshotPath)
+//
+// All /v1 routes run behind admission control (503 + Retry-After under
+// overload) and panic recovery; /healthz bypasses admission so probes
+// answer even when the server is saturated.
 func (s *Server) Handler() http.Handler {
+	api := http.NewServeMux()
+	api.HandleFunc("GET /v1/graphs", s.handleList)
+	api.HandleFunc("PUT /v1/graphs/{name}", s.handlePut)
+	api.HandleFunc("GET /v1/graphs/{name}", s.handleStats)
+	api.HandleFunc("DELETE /v1/graphs/{name}", s.handleDelete)
+	api.HandleFunc("GET /v1/graphs/{name}/query", s.handleQuery)
+	api.HandleFunc("GET /v1/graphs/{name}/pagerank", s.handlePageRank)
+	api.HandleFunc("POST /v1/graphs/{name}/ppr", s.handlePPR)
+	api.HandleFunc("POST /v1/graphs/{name}/edges", s.handleEdges)
+	api.HandleFunc("POST /v1/graphs/{name}/rebuild", s.handleRebuild)
+	api.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("GET /v1/graphs", s.handleList)
-	mux.HandleFunc("PUT /v1/graphs/{name}", s.handlePut)
-	mux.HandleFunc("GET /v1/graphs/{name}", s.handleStats)
-	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDelete)
-	mux.HandleFunc("GET /v1/graphs/{name}/query", s.handleQuery)
-	mux.HandleFunc("GET /v1/graphs/{name}/pagerank", s.handlePageRank)
-	mux.HandleFunc("POST /v1/graphs/{name}/ppr", s.handlePPR)
-	mux.HandleFunc("POST /v1/graphs/{name}/edges", s.handleEdges)
-	mux.HandleFunc("POST /v1/graphs/{name}/rebuild", s.handleRebuild)
-	return mux
+	mux.Handle("/v1/", s.withAdmission(api))
+	return s.withRecovery(mux)
+}
+
+// queryContext derives the context a query computes under: the request's
+// (so a disconnected client cancels the solve) plus the server's
+// per-request deadline when configured.
+func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.QueryTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.QueryTimeout)
+	}
+	return r.Context(), func() {}
 }
 
 // Add preprocesses g and registers it under name, replacing any previous
@@ -142,11 +197,21 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 
 func writeError(w http.ResponseWriter, err error) {
 	var he *httpError
-	if errors.As(err, &he) {
+	switch {
+	case errors.As(err, &he):
 		writeJSON(w, he.status, map[string]string{"error": he.msg})
-		return
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout,
+			map[string]string{"error": "query deadline exceeded"})
+	case errors.Is(err, context.Canceled):
+		writeJSON(w, StatusClientClosedRequest,
+			map[string]string{"error": "client closed request"})
+	case errors.Is(err, bear.ErrRebuildInProgress):
+		writeJSON(w, http.StatusConflict,
+			map[string]string{"error": "rebuild already in progress"})
+	default:
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
 	}
-	writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
 }
 
 // GraphInfo is the JSON stats document for one registered graph.
@@ -162,6 +227,7 @@ type GraphInfo struct {
 	RestartC  float64   `json:"restart_probability"`
 	DropTol   float64   `json:"drop_tolerance"`
 	Pending   int       `json:"pending_updates"`
+	Rebuild   bool      `json:"rebuilding"`
 	CreatedAt time.Time `json:"created_at"`
 }
 
@@ -180,6 +246,7 @@ func (e *entry) info(name string) GraphInfo {
 		RestartC:  p.C,
 		DropTol:   e.opts.DropTol,
 		Pending:   e.dyn.PendingNodes(),
+		Rebuild:   e.dyn.RebuildInProgress(),
 		CreatedAt: e.created,
 	}
 }
@@ -209,7 +276,9 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	if v := q.Get("c"); v != "" {
 		c, err := strconv.ParseFloat(v, 64)
-		if err != nil || c <= 0 || c >= 1 {
+		// ParseFloat accepts "NaN", which slips through plain range
+		// comparisons (NaN fails every one) — reject non-finite explicitly.
+		if err != nil || math.IsNaN(c) || c <= 0 || c >= 1 {
 			writeError(w, errBadRequest("restart probability %q must be in (0,1)", v))
 			return
 		}
@@ -217,8 +286,8 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	}
 	if v := q.Get("drop"); v != "" {
 		d, err := strconv.ParseFloat(v, 64)
-		if err != nil || d < 0 {
-			writeError(w, errBadRequest("drop tolerance %q must be non-negative", v))
+		if err != nil || math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+			writeError(w, errBadRequest("drop tolerance %q must be a finite non-negative number", v))
 			return
 		}
 		opts.DropTol = d
@@ -352,13 +421,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errBadRequest("effective importance requires a rebuild after updates"))
 		return
 	}
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
 	if useEI {
-		scores, err = e.dyn.Precomputed().QueryEffectiveImportance(seed)
+		scores, err = e.dyn.Precomputed().QueryEffectiveImportanceCtx(ctx, seed)
 	} else {
-		scores, err = e.dyn.Query(seed)
+		scores, err = e.dyn.QueryCtx(ctx, seed)
 	}
 	if err != nil {
-		writeError(w, errBadRequest("query: %v", err))
+		writeError(w, queryError(err))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
@@ -385,15 +456,27 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 	for i := range q {
 		q[i] = 1 / float64(n)
 	}
-	scores, err := e.dyn.QueryDist(q)
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	scores, err := e.dyn.QueryDistCtx(ctx, q)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, queryError(err))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"graph":   name,
 		"results": topResults(scores, top),
 	})
+}
+
+// queryError classifies a failure out of the solver: context errors keep
+// their identity (so writeError maps them to 504/499) while anything else
+// is the caller's fault and reports as 400.
+func queryError(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return err
+	}
+	return errBadRequest("query: %v", err)
 }
 
 type pprRequest struct {
@@ -425,15 +508,17 @@ func (s *Server) handlePPR(w http.ResponseWriter, r *http.Request) {
 			writeError(w, errBadRequest("seed %q out of range [0,%d)", k, n))
 			return
 		}
-		if weight < 0 {
-			writeError(w, errBadRequest("seed %q has negative weight", k))
+		if weight < 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+			writeError(w, errBadRequest("seed %q weight %v must be a finite non-negative number", k, weight))
 			return
 		}
 		q[node] = weight
 	}
-	scores, err := e.dyn.QueryDist(q)
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	scores, err := e.dyn.QueryDistCtx(ctx, q)
 	if err != nil {
-		writeError(w, errBadRequest("query: %v", err))
+		writeError(w, queryError(err))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
@@ -483,19 +568,31 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errBadRequest("%v", err))
 		return
 	}
-	rebuilt := false
 	if s.RebuildThreshold > 0 && e.dyn.PendingNodes() >= s.RebuildThreshold {
-		if err := e.dyn.Rebuild(); err != nil {
-			writeError(w, fmt.Errorf("automatic rebuild: %w", err))
-			return
-		}
-		rebuilt = true
+		// Fold the updates in the background; this request — and every
+		// query meanwhile — keeps serving the current Woodbury-corrected
+		// state and returns immediately.
+		s.startRebuild(name, e)
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"graph":   name,
-		"pending": e.dyn.PendingNodes(),
-		"rebuilt": rebuilt,
+		"graph":      name,
+		"pending":    e.dyn.PendingNodes(),
+		"rebuilding": e.dyn.RebuildInProgress(),
 	})
+}
+
+// startRebuild kicks off a background rebuild of e unless one is already
+// running. Queries continue against the old snapshot for the duration;
+// updates accepted meanwhile survive the swap as the new pending set.
+func (s *Server) startRebuild(name string, e *entry) {
+	if e.dyn.RebuildInProgress() {
+		return
+	}
+	go func() {
+		if err := e.dyn.Rebuild(); err != nil && !errors.Is(err, bear.ErrRebuildInProgress) {
+			s.logf("background rebuild of %q: %v", name, err)
+		}
+	}()
 }
 
 func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
@@ -503,6 +600,14 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.lookup(name)
 	if !ok {
 		writeError(w, errNotFound(name))
+		return
+	}
+	if r.URL.Query().Get("async") != "" {
+		s.startRebuild(name, e)
+		writeJSON(w, http.StatusAccepted, map[string]interface{}{
+			"graph":      name,
+			"rebuilding": true,
+		})
 		return
 	}
 	start := time.Now()
@@ -513,5 +618,23 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"graph":      name,
 		"rebuild_ms": float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.SnapshotPath == "" {
+		writeError(w, errBadRequest("server has no snapshot path configured"))
+		return
+	}
+	s.mu.RLock()
+	count := len(s.graphs)
+	s.mu.RUnlock()
+	if err := s.SaveSnapshot(s.SnapshotPath); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"path":   s.SnapshotPath,
+		"graphs": count,
 	})
 }

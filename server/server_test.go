@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"bear"
 )
@@ -51,6 +52,23 @@ func doJSON(t *testing.T, method, url, body string, wantStatus int) map[string]i
 		t.Fatalf("%s %s: status %d, want %d (body %v)", method, url, resp.StatusCode, wantStatus, out)
 	}
 	return out
+}
+
+// waitForPending polls the stats endpoint until pending_updates reaches
+// want (background rebuilds drain it asynchronously).
+func waitForPending(t *testing.T, statsURL string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		stats := doJSON(t, "GET", statsURL, "", http.StatusOK)
+		if int(stats["pending_updates"].(float64)) == want && !stats["rebuilding"].(bool) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pending never reached %d: %v", want, stats)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 func TestHealthz(t *testing.T) {
@@ -146,7 +164,7 @@ func TestEdgeUpdatesAndRebuild(t *testing.T) {
 
 	// Add an edge; pending rises.
 	out := doJSON(t, "POST", base+"/g/edges", `{"op":"add","u":0,"v":70}`, http.StatusOK)
-	if out["pending"].(float64) != 1 || out["rebuilt"].(bool) {
+	if out["pending"].(float64) != 1 || out["rebuilding"].(bool) {
 		t.Fatalf("after add: %v", out)
 	}
 	// The query reflects the new edge.
@@ -163,14 +181,14 @@ func TestEdgeUpdatesAndRebuild(t *testing.T) {
 
 	// Removing from the same node keeps the dirty-node count at one.
 	out = doJSON(t, "POST", base+"/g/edges", `{"op":"remove","u":0,"v":70}`, http.StatusOK)
-	if out["pending"].(float64) != 1 || out["rebuilt"].(bool) {
+	if out["pending"].(float64) != 1 || out["rebuilding"].(bool) {
 		t.Fatalf("after remove on same node: %v", out)
 	}
-	// A second distinct node reaches the threshold: automatic rebuild.
-	out = doJSON(t, "POST", base+"/g/edges", `{"op":"replace","u":5,"dst":[1,2],"weights":[1,1]}`, http.StatusOK)
-	if !out["rebuilt"].(bool) || out["pending"].(float64) != 0 {
-		t.Fatalf("expected automatic rebuild: %v", out)
-	}
+	// A second distinct node reaches the threshold: an automatic rebuild
+	// starts in the background while the request returns immediately; the
+	// pending count drains to zero once the swap lands.
+	doJSON(t, "POST", base+"/g/edges", `{"op":"replace","u":5,"dst":[1,2],"weights":[1,1]}`, http.StatusOK)
+	waitForPending(t, base+"/g", 0)
 
 	// Manual rebuild endpoint.
 	doJSON(t, "POST", base+"/g/edges", `{"op":"add","u":1,"v":60}`, http.StatusOK)
@@ -193,7 +211,10 @@ func TestServerErrors(t *testing.T) {
 		{"PUT", base + "/bad name!", "0 1\n", http.StatusBadRequest},
 		{"PUT", base + "/g2", "not an edge list", http.StatusBadRequest},
 		{"PUT", base + "/g3?c=2", "0 1\n", http.StatusBadRequest},
+		{"PUT", base + "/g3?c=NaN", "0 1\n", http.StatusBadRequest},
 		{"PUT", base + "/g3?drop=-1", "0 1\n", http.StatusBadRequest},
+		{"PUT", base + "/g3?drop=NaN", "0 1\n", http.StatusBadRequest},
+		{"PUT", base + "/g3?drop=+Inf", "0 1\n", http.StatusBadRequest},
 		{"PUT", base + "/g3?laplacian=maybe", "0 1\n", http.StatusBadRequest},
 		{"GET", base + "/missing", "", http.StatusNotFound},
 		{"DELETE", base + "/missing", "", http.StatusNotFound},

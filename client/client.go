@@ -313,6 +313,28 @@ func (c *Client) PPR(ctx context.Context, name string, seeds map[int]float64, to
 	return out.Results, err
 }
 
+// QueryBatch returns top-k RWR results for many seeds in one request. The
+// server answers cached seeds from its result cache and solves the rest
+// together through its blocked multi-RHS solver; results are identical to
+// issuing Query per seed, slot i corresponding to seeds[i] (duplicates
+// allowed).
+func (c *Client) QueryBatch(ctx context.Context, name string, seeds []int, top int) ([]server.BatchSeedResult, error) {
+	body, err := json.Marshal(struct {
+		Seeds []int `json:"seeds"`
+		Top   int   `json:"top"`
+	}{Seeds: seeds, Top: top})
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Results []server.BatchSeedResult `json:"results"`
+	}
+	// Like PPR, a read served over POST: replaying it is safe, so it
+	// retries like the GET queries.
+	err = c.do(ctx, http.MethodPost, "/v1/graphs/"+url.PathEscape(name)+"/batch", body, true, &out)
+	return out.Results, err
+}
+
 // UpdateStatus reports the pending-update state after an edge operation.
 type UpdateStatus struct {
 	Pending int `json:"pending"`

@@ -226,3 +226,39 @@ func TestClientUnreachable(t *testing.T) {
 		t.Fatal("expected connection error")
 	}
 }
+
+func TestClientQueryBatch(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+	if _, err := c.Upload(ctx, "g", graphBody(t), UploadOptions{}); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+
+	seeds := []int{0, 7, 23, 7} // duplicate allowed
+	batch, err := c.QueryBatch(ctx, "g", seeds, 5)
+	if err != nil {
+		t.Fatalf("QueryBatch: %v", err)
+	}
+	if len(batch) != len(seeds) {
+		t.Fatalf("QueryBatch returned %d slots for %d seeds", len(batch), len(seeds))
+	}
+	for i, slot := range batch {
+		if slot.Seed != seeds[i] {
+			t.Fatalf("slot %d seed = %d, want %d", i, slot.Seed, seeds[i])
+		}
+		single, err := c.Query(ctx, "g", seeds[i], 5)
+		if err != nil {
+			t.Fatalf("Query seed %d: %v", seeds[i], err)
+		}
+		if fmt.Sprint(slot.Results) != fmt.Sprint(single) {
+			t.Fatalf("seed %d: batch %v differs from single %v", seeds[i], slot.Results, single)
+		}
+	}
+
+	if _, err := c.QueryBatch(ctx, "g", nil, 5); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := c.QueryBatch(ctx, "g", []int{1 << 30}, 5); err == nil {
+		t.Fatal("out-of-range seed accepted")
+	}
+}

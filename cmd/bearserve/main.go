@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -52,6 +53,9 @@ func main() {
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline (0 = none)")
 	snapshot := flag.String("snapshot", "", "registry snapshot file: restored at boot, written on shutdown and POST /v1/snapshot")
 	drain := flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result cache budget in bytes (negative = disable caching)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "result cache entry lifetime (0 = until evicted; invalidation is by epoch, not TTL)")
+	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof (empty = disabled); keep it off public interfaces")
 	flag.Var(&graphs, "graph", "name=path of a graph to preprocess at startup (repeatable)")
 	flag.Parse()
 
@@ -60,6 +64,27 @@ func main() {
 	s.MaxConcurrent = *maxConc
 	s.QueryTimeout = *queryTimeout
 	s.SnapshotPath = *snapshot
+	s.CacheMaxBytes = *cacheBytes
+	s.CacheTTL = *cacheTTL
+
+	if *pprofAddr != "" {
+		// A separate listener keeps the profiling surface off the service
+		// port: the API can face a load balancer while pprof stays on
+		// localhost. Registered on a private mux, not DefaultServeMux, so
+		// nothing else can sneak handlers onto it.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				log.Printf("bearserve: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	if *snapshot != "" {
 		switch err := s.LoadSnapshot(*snapshot); {

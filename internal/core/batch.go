@@ -7,35 +7,65 @@ import (
 	"sync"
 )
 
-// QueryBatch computes RWR vectors for many seeds, fanning queries out over
-// workers goroutines (0 selects GOMAXPROCS). Results are indexed like
-// seeds. Precomputed is read-only during queries, so the workers share it
-// without locking; each worker holds one Workspace for its whole share of
-// the batch, so the only per-query allocation is the result vector.
+// QueryBatch computes RWR vectors for many seeds, fanning blocked
+// multi-RHS chunks out over workers goroutines (0 selects GOMAXPROCS).
+// Results are indexed like seeds and bit-identical to Query on each seed.
+// Precomputed is read-only during queries, so the workers share it without
+// locking; each worker holds one BatchWorkspace for its whole share of the
+// batch, so the only per-query allocation is the result vector.
 func (p *Precomputed) QueryBatch(seeds []int, workers int) ([][]float64, error) {
 	return p.QueryBatchCtx(context.Background(), seeds, workers)
 }
 
 // QueryBatchCtx is QueryBatch honoring cancellation and deadlines on ctx:
-// cancellation is observed between individual seed solves (and between the
+// cancellation is observed between chunk solves (and between the
 // block-solve stages inside each), undone work is abandoned, and the first
 // context error is returned.
+//
+// Seeds are reordered internally so that seeds sharing a diagonal block
+// land in the same multi-RHS chunk (see QueryBatchTo); the returned slice
+// is still indexed like seeds.
 func (p *Precomputed) QueryBatchCtx(ctx context.Context, seeds []int, workers int) ([][]float64, error) {
 	for _, s := range seeds {
 		if s < 0 || s >= p.N {
 			return nil, fmt.Errorf("core: seed %d out of range [0,%d)", s, p.N)
 		}
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(seeds) {
-		workers = len(seeds)
-	}
 	out := make([][]float64, len(seeds))
 	if len(seeds) == 0 {
 		return out, nil
 	}
+	for i := range out {
+		out[i] = make([]float64, p.N)
+	}
+
+	// Group same-block seeds into chunks of the batch width; each chunk is
+	// one independent blocked solve, so chunks parallelize cleanly.
+	order := p.seedOrder(seeds)
+	nb := p.batchWidth()
+	nchunks := (len(order) + nb - 1) / nb
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nchunks {
+		workers = nchunks
+	}
+
+	if workers <= 1 {
+		bw := p.AcquireBatchWorkspace()
+		defer p.ReleaseBatchWorkspace(bw)
+		for start := 0; start < len(order); start += nb {
+			end := start + nb
+			if end > len(order) {
+				end = len(order)
+			}
+			if err := p.queryChunkTo(ctx, out, seeds, order[start:end], bw); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -46,26 +76,27 @@ func (p *Precomputed) QueryBatchCtx(ctx context.Context, seeds []int, workers in
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ws := p.AcquireWorkspace()
-			defer p.ReleaseWorkspace(ws)
-			for i := range next {
-				dst := make([]float64, p.N)
-				if err := p.QueryToCtx(ctx, dst, seeds[i], ws); err != nil {
+			bw := p.AcquireBatchWorkspace()
+			defer p.ReleaseBatchWorkspace(bw)
+			for start := range next {
+				end := start + nb
+				if end > len(order) {
+					end = len(order)
+				}
+				if err := p.queryChunkTo(ctx, out, seeds, order[start:end], bw); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
 					}
 					mu.Unlock()
-					continue
 				}
-				out[i] = dst
 			}
 		}()
 	}
 feed:
-	for i := range seeds {
+	for start := 0; start < len(order); start += nb {
 		select {
-		case next <- i:
+		case next <- start:
 		case <-ctx.Done():
 			break feed
 		}

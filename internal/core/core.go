@@ -131,6 +131,10 @@ type Precomputed struct {
 	// nothing; see AcquireWorkspace. Precomputed must not be copied by
 	// value once queries have run.
 	wsPool sync.Pool
+
+	// batchPool recycles multi-RHS batch workspaces; see
+	// AcquireBatchWorkspace.
+	batchPool sync.Pool
 }
 
 // initDerived fills the fields computed from the serialized ones; it must

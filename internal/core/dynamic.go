@@ -54,6 +54,11 @@ type Dynamic struct {
 	// the new dirty set when the rebuilt matrices are swapped in.
 	rebuilding bool
 	sinceSnap  []int
+
+	// epoch counts state transitions visible to query results: every
+	// accepted update and every rebuild swap increments it. Result caches
+	// key on it — see Epoch.
+	epoch uint64
 }
 
 // NewDynamic preprocesses g and wraps it for incremental updates.
@@ -175,6 +180,7 @@ func (d *Dynamic) outCopy(u int) ([]int, []float64) {
 }
 
 func (d *Dynamic) markDirty(u int) {
+	d.epoch++
 	d.capMat, d.hw = nil, nil
 	// A node whose row went back to its base contents could be dropped
 	// here; detecting that costs a row comparison and the win is rare, so
@@ -230,7 +236,23 @@ func (d *Dynamic) Rebuild() error {
 	d.dirty = d.sinceSnap // updates accepted while preprocessing ran
 	d.sinceSnap = nil
 	d.capMat, d.hw = nil, nil
+	// The swap changes which Precomputed answers queries (and resets the
+	// Woodbury correction), so cached results must not carry across it even
+	// though the graph itself did not change at this instant.
+	d.epoch++
 	return nil
+}
+
+// Epoch returns a counter that increments on every accepted update and
+// every rebuild swap. Two queries observing the same epoch are answered
+// from the same graph state, so results may be cached under a key that
+// includes the epoch; the count read *before* issuing a query is a safe
+// cache key for its result (a concurrent transition can only make the
+// cached value fresher than the key promises, never staler).
+func (d *Dynamic) Epoch() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.epoch
 }
 
 // RebuildInProgress reports whether a Rebuild is currently preprocessing in
@@ -388,4 +410,37 @@ func (d *Dynamic) QueryCtx(ctx context.Context, seed int) ([]float64, error) {
 	q := make([]float64, n)
 	q[seed] = 1
 	return d.QueryDistCtx(ctx, q)
+}
+
+// QueryBatch computes exact RWR vectors for many seeds on the current
+// graph; results are indexed like seeds.
+func (d *Dynamic) QueryBatch(seeds []int, workers int) ([][]float64, error) {
+	return d.QueryBatchCtx(context.Background(), seeds, workers)
+}
+
+// QueryBatchCtx is QueryBatch honoring cancellation and deadlines on ctx.
+// With no pending updates it runs the blocked multi-RHS solver (one factor
+// traversal per chunk of seeds, bit-identical to per-seed Query); with
+// pending updates it falls back to per-seed Woodbury-corrected queries,
+// since the rank-k correction is per-vector anyway.
+func (d *Dynamic) QueryBatchCtx(ctx context.Context, seeds []int, workers int) ([][]float64, error) {
+	d.mu.RLock()
+	p, clean := d.p, len(d.dirty) == 0
+	d.mu.RUnlock()
+	if clean {
+		// p is immutable, so the batch is answered consistently from the
+		// state captured above even if updates or a rebuild swap land
+		// mid-batch (the same guarantee per-seed queries give: results
+		// reflect the graph as of when the query began).
+		return p.QueryBatchCtx(ctx, seeds, workers)
+	}
+	out := make([][]float64, len(seeds))
+	for i, s := range seeds {
+		r, err := d.QueryCtx(ctx, s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -277,9 +278,11 @@ func (p *Precomputed) blockOfPos(pos int) int {
 }
 
 // TopK returns the k node ids with the highest scores, in descending score
-// order, breaking ties by node id. k is clamped to [0, len(scores)]. It
-// runs in O(n log k) with a bounded min-heap whose root is the weakest
-// retained candidate, allocating only the result.
+// order, breaking ties by node id. NaN scores rank below every real score
+// (ties among NaNs break by id), so they can only appear in the result
+// once every real-scored node is already in it. k is clamped to
+// [0, len(scores)]. It runs in O(n log k) with a bounded min-heap whose
+// root is the weakest retained candidate, allocating only the result.
 func TopK(scores []float64, k int) []int {
 	if k > len(scores) {
 		k = len(scores)
@@ -288,9 +291,18 @@ func TopK(scores []float64, k int) []int {
 		return []int{}
 	}
 	// worse reports whether candidate a ranks strictly below b: lower
-	// score, or equal score and higher id.
+	// score, or equal score and higher id. NaN compares false against
+	// everything, which would leave the heap order undefined, so it is
+	// ordered explicitly as the worst possible score.
 	worse := func(a, b int) bool {
-		return scores[a] < scores[b] || (scores[a] == scores[b] && a > b)
+		sa, sb := scores[a], scores[b]
+		if math.IsNaN(sa) {
+			return !math.IsNaN(sb) || a > b
+		}
+		if math.IsNaN(sb) {
+			return false
+		}
+		return sa < sb || (sa == sb && a > b)
 	}
 	h := make([]int, 0, k)
 	for i := range scores {

@@ -1,0 +1,210 @@
+// Package resultcache provides a sharded, byte-bounded LRU cache for query
+// results, keyed by graph state, plus a singleflight coalescer that folds
+// concurrent identical computations into one.
+//
+// Invalidation is by construction rather than by scanning: every Key
+// embeds the graph registry generation and the Dynamic epoch, both of
+// which only ever move forward. When the graph changes, new requests hash
+// to new keys and the stale entries simply age out of the LRU — no lock
+// has to sweep the cache on the update path. The one correctness
+// requirement sits with the caller: read the epoch *before* computing the
+// value being cached. Then a concurrent update can only make a cached
+// value fresher than its key promises, never staler, so a request
+// observing epoch E never sees pre-E data.
+package resultcache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Key identifies one cached result. Gen is the serving-layer registration
+// generation (distinguishes a re-registered or restored graph under the
+// same name), Epoch the Dynamic update epoch, and Hash a digest of all
+// query parameters that affect the result.
+type Key struct {
+	Gen   uint64
+	Epoch uint64
+	Hash  uint64
+}
+
+// Value is what the cache stores. CacheBytes reports the approximate heap
+// footprint used for the byte budget; it must be constant for the lifetime
+// of the value.
+type Value interface {
+	CacheBytes() int64
+}
+
+// Stats is a point-in-time snapshot of cache counters, aggregated over all
+// shards.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Coalesced uint64 `json:"coalesced"`
+	Evictions uint64 `json:"evictions"`
+	Expired   uint64 `json:"expired"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	MaxBytes  int64  `json:"max_bytes"`
+}
+
+const (
+	shardCount = 16 // power of two; enough to keep shard locks uncontended
+
+	// entryOverhead approximates the bookkeeping heap cost per entry
+	// (map bucket share, list element, entry struct) added to each value's
+	// CacheBytes in the budget.
+	entryOverhead = 128
+)
+
+// Cache is a sharded LRU bounded by total byte footprint, with optional
+// TTL expiry. All methods are safe for concurrent use and nil-safe: a nil
+// *Cache never hits and drops every Put, so callers can disable caching by
+// simply not constructing one.
+type Cache struct {
+	shards [shardCount]shard
+	ttl    time.Duration
+	now    func() time.Time // injectable for TTL tests
+}
+
+type shard struct {
+	mu        sync.Mutex
+	ll        *list.List // front = most recently used
+	items     map[Key]*list.Element
+	bytes     int64
+	max       int64
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	expired   uint64
+}
+
+type entry struct {
+	key     Key
+	v       Value
+	size    int64
+	expires time.Time // zero when the cache has no TTL
+}
+
+// New returns a cache bounded by maxBytes across all shards. ttl <= 0
+// disables expiry. maxBytes <= 0 returns nil — a valid, always-miss cache.
+func New(maxBytes int64, ttl time.Duration) *Cache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	c := &Cache{ttl: ttl, now: time.Now}
+	per := maxBytes / shardCount
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i].ll = list.New()
+		c.shards[i].items = make(map[Key]*list.Element)
+		c.shards[i].max = per
+	}
+	return c
+}
+
+// shardFor mixes the key fields so consecutive epochs and generations
+// spread across shards.
+func (c *Cache) shardFor(k Key) *shard {
+	h := k.Hash
+	h ^= k.Epoch * 0x9e3779b97f4a7c15
+	h ^= k.Gen * 0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	return &c.shards[h%shardCount]
+}
+
+// Get returns the cached value for k, refreshing its recency. Expired
+// entries are removed on access.
+func (c *Cache) Get(k Key) (Value, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[k]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if c.ttl > 0 && c.now().After(e.expires) {
+		s.removeLocked(el)
+		s.expired++
+		s.misses++
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	s.hits++
+	return e.v, true
+}
+
+// Put inserts or replaces the value for k and evicts least-recently-used
+// entries until the shard is back under budget. Values larger than a whole
+// shard's budget are not stored.
+func (c *Cache) Put(k Key, v Value) {
+	if c == nil || v == nil {
+		return
+	}
+	size := v.CacheBytes() + entryOverhead
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if size > s.max {
+		return
+	}
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = c.now().Add(c.ttl)
+	}
+	if el, ok := s.items[k]; ok {
+		e := el.Value.(*entry)
+		s.bytes += size - e.size
+		e.v, e.size, e.expires = v, size, expires
+		s.ll.MoveToFront(el)
+	} else {
+		el := s.ll.PushFront(&entry{key: k, v: v, size: size, expires: expires})
+		s.items[k] = el
+		s.bytes += size
+	}
+	for s.bytes > s.max {
+		back := s.ll.Back()
+		if back == nil {
+			break
+		}
+		s.removeLocked(back)
+		s.evictions++
+	}
+}
+
+func (s *shard) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	s.ll.Remove(el)
+	delete(s.items, e.key)
+	s.bytes -= e.size
+}
+
+// Stats aggregates the per-shard counters. Coalesced is filled in by the
+// owner of the companion Flight, not here.
+func (c *Cache) Stats() Stats {
+	var st Stats
+	if c == nil {
+		return st
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evictions += s.evictions
+		st.Expired += s.expired
+		st.Entries += s.ll.Len()
+		st.Bytes += s.bytes
+		st.MaxBytes += s.max
+		s.mu.Unlock()
+	}
+	return st
+}

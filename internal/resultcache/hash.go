@@ -1,0 +1,50 @@
+package resultcache
+
+import "math"
+
+// Hasher builds the Hash component of a Key by folding query parameters
+// into an FNV-1a digest. The zero value is not valid; start from NewHasher.
+// Callers must fold a discriminator (e.g. the endpoint name) first so that
+// different query shapes with coincidentally equal parameters cannot
+// collide by construction.
+type Hasher uint64
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// NewHasher returns the FNV-1a offset basis.
+func NewHasher() Hasher { return fnvOffset }
+
+// Byte folds a single byte.
+func (h Hasher) Byte(b byte) Hasher {
+	return (h ^ Hasher(b)) * fnvPrime
+}
+
+// Uint64 folds v little-endian.
+func (h Hasher) Uint64(v uint64) Hasher {
+	for i := 0; i < 8; i++ {
+		h = h.Byte(byte(v >> (8 * i)))
+	}
+	return h
+}
+
+// Int folds v as its two's-complement uint64 pattern.
+func (h Hasher) Int(v int) Hasher { return h.Uint64(uint64(v)) }
+
+// Float64 folds the IEEE-754 bit pattern of v, so -0 and 0 (and any two
+// NaN payloads) hash differently only when their bits differ.
+func (h Hasher) Float64(v float64) Hasher { return h.Uint64(math.Float64bits(v)) }
+
+// String folds s byte by byte.
+func (h Hasher) String(s string) Hasher {
+	for i := 0; i < len(s); i++ {
+		h = h.Byte(s[i])
+	}
+	// Fold the length so "ab"+"c" and "a"+"bc" cannot collide across calls.
+	return h.Int(len(s))
+}
+
+// Sum returns the digest for use as Key.Hash.
+func (h Hasher) Sum() uint64 { return uint64(h) }

@@ -1,0 +1,65 @@
+package resultcache
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Flight coalesces concurrent computations of the same Key: the first
+// caller runs fn, later callers block until it finishes and share its
+// result. Because keys embed the graph generation and epoch, two requests
+// only ever coalesce when their answers are interchangeable — a request
+// issued after an update carries a new epoch and starts its own flight.
+type Flight struct {
+	mu        sync.Mutex
+	calls     map[Key]*call
+	coalesced atomic.Uint64
+}
+
+type call struct {
+	done chan struct{}
+	v    Value
+	err  error
+}
+
+// Do runs fn for k unless an identical flight is already in progress, in
+// which case it waits for that flight and returns its result with
+// shared=true. A waiting caller whose ctx ends returns the context error
+// without cancelling the leader's computation (other waiters may still
+// want it). The leader's fn runs with whatever context the leader captured;
+// errors are shared with all waiters and nothing is retained afterward, so
+// a failed flight is retried by the next request.
+func (f *Flight) Do(ctx context.Context, k Key, fn func() (Value, error)) (v Value, shared bool, err error) {
+	f.mu.Lock()
+	if f.calls == nil {
+		f.calls = make(map[Key]*call)
+	}
+	if c, ok := f.calls[k]; ok {
+		f.mu.Unlock()
+		f.coalesced.Add(1)
+		select {
+		case <-c.done:
+			return c.v, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	f.calls[k] = c
+	f.mu.Unlock()
+
+	c.v, c.err = fn()
+
+	f.mu.Lock()
+	delete(f.calls, k)
+	f.mu.Unlock()
+	close(c.done)
+	return c.v, false, c.err
+}
+
+// Coalesced reports how many callers shared another flight's result since
+// the Flight was created.
+func (f *Flight) Coalesced() uint64 {
+	return f.coalesced.Load()
+}

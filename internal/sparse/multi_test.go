@@ -1,0 +1,167 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomCSRMulti builds a random r×c CSR with roughly density·r·c entries.
+func randomCSRMulti(r, c int, density float64, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	var coords []Coord
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if rng.Float64() < density {
+				coords = append(coords, Coord{Row: i, Col: j, Val: rng.NormFloat64()})
+			}
+		}
+	}
+	return NewCSR(r, c, coords)
+}
+
+// multiColumns extracts column k of a node-contiguous RHS block.
+func multiColumn(x []float64, nb, k, n int) []float64 {
+	out := make([]float64, n)
+	for j := 0; j < n; j++ {
+		out[j] = x[j*nb+k]
+	}
+	return out
+}
+
+// TestMulMultiToBitIdentical: every column of the SpMM result must equal
+// the single-vector MulVecTo product bit-for-bit, across RHS widths.
+func TestMulMultiToBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomCSRMulti(120, 80, 0.08, 11)
+	for _, nb := range []int{1, 2, 3, 8, 17} {
+		x := make([]float64, a.C*nb)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y := make([]float64, a.R*nb)
+		a.MulMultiTo(y, x, nb)
+		for k := 0; k < nb; k++ {
+			want := a.MulVec(multiColumn(x, nb, k, a.C))
+			got := multiColumn(y, nb, k, a.R)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("nb=%d col %d row %d: %v != %v", nb, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMulRangeMultiTo: the row-restricted kernel must match MulVecRangeTo
+// per column and leave rows outside [lo, hi) untouched.
+func TestMulRangeMultiTo(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomCSRMulti(90, 90, 0.1, 12)
+	const nb = 5
+	x := make([]float64, a.C*nb)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	lo, hi := 20, 61
+	y := make([]float64, a.R*nb)
+	sentinel := -12345.0
+	for i := range y {
+		y[i] = sentinel
+	}
+	a.MulRangeMultiTo(y, x, nb, lo, hi)
+	for k := 0; k < nb; k++ {
+		xc := multiColumn(x, nb, k, a.C)
+		want := make([]float64, a.R)
+		a.MulVecRangeTo(want, xc, lo, hi)
+		for i := 0; i < a.R; i++ {
+			got := y[i*nb+k]
+			if i < lo || i >= hi {
+				if got != sentinel {
+					t.Fatalf("col %d row %d outside range was written: %v", k, i, got)
+				}
+				continue
+			}
+			if got != want[i] {
+				t.Fatalf("col %d row %d: %v != %v", k, i, got, want[i])
+			}
+		}
+	}
+}
+
+// TestMulColRangeMultiTo: the column-restricted kernel must match
+// MulVecColRangeTo per column when X is zero outside the range.
+func TestMulColRangeMultiTo(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomCSRMulti(70, 110, 0.09, 13)
+	const nb = 4
+	lo, hi := 30, 75
+	x := make([]float64, a.C*nb)
+	for j := lo; j < hi; j++ {
+		for k := 0; k < nb; k++ {
+			x[j*nb+k] = rng.NormFloat64()
+		}
+	}
+	y := make([]float64, a.R*nb)
+	a.MulColRangeMultiTo(y, x, nb, lo, hi)
+	for k := 0; k < nb; k++ {
+		xc := multiColumn(x, nb, k, a.C)
+		want := make([]float64, a.R)
+		a.MulVecColRangeTo(want, xc, lo, hi)
+		for i := 0; i < a.R; i++ {
+			if y[i*nb+k] != want[i] {
+				t.Fatalf("col %d row %d: %v != %v", k, i, y[i*nb+k], want[i])
+			}
+		}
+	}
+}
+
+// TestMulMultiToPanics locks in the dimension-mismatch contract.
+func TestMulMultiToPanics(t *testing.T) {
+	a := randomCSRMulti(10, 10, 0.3, 14)
+	cases := []func(){
+		func() { a.MulMultiTo(make([]float64, 10), make([]float64, 10), 0) },
+		func() { a.MulMultiTo(make([]float64, 9), make([]float64, 10), 1) },
+		func() { a.MulRangeMultiTo(make([]float64, 20), make([]float64, 20), 2, 5, 11) },
+		func() { a.MulColRangeMultiTo(make([]float64, 20), make([]float64, 20), 2, -1, 5) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// BenchmarkMulMulti compares nb separate MulVecTo passes against one
+// MulMultiTo pass over the same matrix — the traversal-amortization the
+// blocked batch solver relies on.
+func BenchmarkMulMulti(b *testing.B) {
+	a := randomCSRMulti(3000, 3000, 0.004, 15)
+	const nb = 16
+	x := make([]float64, a.C*nb)
+	for i := range x {
+		x[i] = float64(i%17) * 0.25
+	}
+	y := make([]float64, a.R*nb)
+	b.Run("perseed", func(b *testing.B) {
+		xc := make([]float64, a.C)
+		yc := make([]float64, a.R)
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < nb; k++ {
+				for j := range xc {
+					xc[j] = x[j*nb+k]
+				}
+				a.MulVecTo(yc, xc)
+			}
+		}
+	})
+	b.Run("blocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a.MulMultiTo(y, x, nb)
+		}
+	})
+}

@@ -7,10 +7,22 @@ import (
 	"sync"
 )
 
+// parallelMulMinWork is the estimated flop count below which ParallelMul
+// runs sequentially: for skinny products (e.g. the n₁×n₂ Schur-complement
+// operands in Preprocess, where n₂ ≪ n₁) the goroutine spawn plus the
+// per-worker accumulator allocations cost more than the multiply itself.
+const parallelMulMinWork = 1 << 15
+
 // ParallelMul computes C = A B like Mul, fanning row blocks of A out over
 // workers goroutines (0 selects GOMAXPROCS). The result is bit-identical
 // to Mul: each output row is produced by exactly one worker with the same
 // per-row arithmetic order.
+//
+// Row ranges are split evenly (⌈R/w⌉ vs ⌊R/w⌋, never an empty range), and
+// products whose estimated work — a.NNZ() times the average row density of
+// b — falls below a minimum threshold fall back to the sequential Mul, so
+// skinny matrices never pay goroutine and scratch setup they cannot
+// amortize.
 func ParallelMul(a, b *CSR, workers int) *CSR {
 	if a.C != b.R {
 		panic(fmt.Sprintf("sparse: Mul shape mismatch %dx%d * %dx%d", a.R, a.C, b.R, b.C))
@@ -20,6 +32,17 @@ func ParallelMul(a, b *CSR, workers int) *CSR {
 	}
 	if workers > a.R {
 		workers = a.R
+	}
+	if workers > 1 {
+		// Estimated multiply-adds: each stored a-entry (i,k) expands into
+		// nnz(b row k) products; approximate with b's mean row density.
+		work := float64(a.NNZ())
+		if b.R > 0 {
+			work *= float64(b.NNZ()) / float64(b.R)
+		}
+		if work < parallelMulMinWork {
+			workers = 1
+		}
 	}
 	if workers <= 1 {
 		return Mul(a, b)
@@ -31,18 +54,14 @@ func ParallelMul(a, b *CSR, workers int) *CSR {
 		rowLen []int
 	}
 	ranges := make([]rowRange, workers)
-	chunk := (a.R + workers - 1) / workers
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > a.R {
-			hi = a.R
-		}
+		// Balanced split: every range gets ⌊R/w⌋ or ⌈R/w⌉ rows, and since
+		// workers ≤ R no range is ever empty — each spawned goroutine has
+		// real work.
+		lo := w * a.R / workers
+		hi := (w + 1) * a.R / workers
 		ranges[w] = rowRange{lo: lo, hi: hi}
-		if lo >= hi {
-			continue
-		}
 		wg.Add(1)
 		go func(rr *rowRange) {
 			defer wg.Done()

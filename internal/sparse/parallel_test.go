@@ -97,6 +97,65 @@ func TestBlockDiagLUInverseSingularBlock(t *testing.T) {
 	}
 }
 
+// TestParallelMulSkinnyAndTiny pins the worker-sizing fix: skinny products
+// (few columns, the Schur-complement operand shape), matrices with fewer
+// rows than workers, and near-empty matrices must all match Mul exactly —
+// whether they take the fallback or the balanced parallel split.
+func TestParallelMulSkinnyAndTiny(t *testing.T) {
+	rng := rand.New(rand.NewSource(133))
+	cases := []struct {
+		name string
+		a, b *CSR
+	}{
+		{"skinny", randomCSR(rng, 500, 500, 0.02), randomCSR(rng, 500, 4, 0.3)},
+		{"tiny-rows", randomCSR(rng, 3, 40, 0.4), randomCSR(rng, 40, 40, 0.2)},
+		{"empty-a", NewCSR(30, 30, nil), randomCSR(rng, 30, 30, 0.2)},
+		{"empty-b", randomCSR(rng, 30, 30, 0.2), NewCSR(30, 30, nil)},
+		{"one-row", randomCSR(rng, 1, 50, 0.5), randomCSR(rng, 50, 50, 0.2)},
+	}
+	for _, tc := range cases {
+		want := Mul(tc.a, tc.b)
+		for _, workers := range []int{2, 8, 64} {
+			got := ParallelMul(tc.a, tc.b, workers)
+			if !reflect.DeepEqual(got.RowPtr, want.RowPtr) ||
+				!reflect.DeepEqual(got.ColIdx, want.ColIdx) ||
+				!reflect.DeepEqual(got.Val, want.Val) {
+				t.Fatalf("%s workers=%d: ParallelMul differs from Mul", tc.name, workers)
+			}
+		}
+	}
+}
+
+// BenchmarkParallelMulSchurShapes is the regression guard for the
+// worker-sizing fix on the shapes Preprocess actually multiplies when
+// forming S = H₂₂ − H₂₁ U₁⁻¹ L₁⁻¹ H₁₂: a large block-diagonal-ish factor
+// times a skinny n₁×n₂ matrix, and the very skinny n₂×n₁ × n₁×n₂ tail.
+// ParallelMul must never be slower than Mul here (it now falls back below
+// the minimum-work threshold instead of spawning workers for tiny tails).
+func BenchmarkParallelMulSchurShapes(b *testing.B) {
+	rng := rand.New(rand.NewSource(134))
+	n1, n2 := 4000, 24
+	l1 := randomCSR(rng, n1, n1, 0.0015) // factor-like big operand
+	h12 := randomCSR(rng, n1, n2, 0.05)  // skinny right operand
+	h21 := randomCSR(rng, n2, n1, 0.05)  // very skinny tail product
+	t2 := Mul(l1, h12)
+	for _, bench := range []struct {
+		name string
+		fn   func()
+	}{
+		{"big-x-skinny/seq", func() { Mul(l1, h12) }},
+		{"big-x-skinny/par4", func() { ParallelMul(l1, h12, 4) }},
+		{"tail-x-skinny/seq", func() { Mul(h21, t2) }},
+		{"tail-x-skinny/par4", func() { ParallelMul(h21, t2, 4) }},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bench.fn()
+			}
+		})
+	}
+}
+
 // Property: ParallelMul is exactly Mul for random shapes and worker counts.
 func TestQuickParallelMul(t *testing.T) {
 	rng := rand.New(rand.NewSource(132))

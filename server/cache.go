@@ -1,0 +1,206 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+
+	"bear/internal/resultcache"
+)
+
+// The serving layer caches full score vectors plus their rendered top-k
+// slices, keyed by (registration generation, dynamic epoch, parameter
+// hash). Invalidation is purely by key construction: every accepted edge
+// update and every rebuild swap bumps the Dynamic epoch, and every PUT or
+// snapshot restore assigns a fresh generation, so a changed graph makes
+// all prior entries unreachable and they age out of the LRU. The epoch in
+// the key is always the one observed *before* the solve ran — a concurrent
+// update can therefore only make a cached vector fresher than its key
+// promises, never staler, so no request ever reads pre-update data through
+// the cache.
+
+// nextGen hands out registration generations. It is process-global so a
+// graph re-registered under a reused name — including via snapshot
+// restore — can never collide with cache entries of its predecessor.
+var nextGen atomic.Uint64
+
+// cachedResult is one cached answer: the full score vector and the top-k
+// slice rendered for the requested k (k is part of the cache key).
+type cachedResult struct {
+	scores  []float64
+	results []ScoredNode
+}
+
+func (c *cachedResult) CacheBytes() int64 {
+	return int64(len(c.scores))*8 + int64(len(c.results))*24
+}
+
+// resultCache lazily builds the cache from the configured budget so the
+// fields can be set any time before the first request.
+func (s *Server) resultCache() *resultcache.Cache {
+	s.cacheOnce.Do(func() {
+		s.cache = resultcache.New(s.CacheMaxBytes, s.CacheTTL)
+	})
+	return s.cache
+}
+
+// hasher seeds a parameter digest for one query kind against this entry.
+// The preprocessing options are folded in alongside the generation so a
+// key never outlives a semantic change to how scores are computed.
+func (e *entry) hasher(kind string) resultcache.Hasher {
+	h := resultcache.NewHasher().String(kind).Float64(e.opts.C).Float64(e.opts.DropTol)
+	if e.opts.Laplacian {
+		return h.Byte(1)
+	}
+	return h.Byte(0)
+}
+
+// cachedSolve answers one query through the cache and the singleflight
+// coalescer: a hit returns immediately; concurrent identical misses run
+// one solve and share it; the winner's result is cached for later
+// requests. The returned status is the X-Cache header value
+// (hit|miss|coalesced).
+func (s *Server) cachedSolve(ctx context.Context, e *entry, hash uint64, top int, solve func(context.Context) ([]float64, error)) (*cachedResult, string, error) {
+	cache := s.resultCache()
+	key := resultcache.Key{Gen: e.gen, Epoch: e.dyn.Epoch(), Hash: hash}
+	if v, ok := cache.Get(key); ok {
+		return v.(*cachedResult), "hit", nil
+	}
+	v, shared, err := s.flight.Do(ctx, key, func() (resultcache.Value, error) {
+		scores, err := solve(ctx)
+		if err != nil {
+			return nil, err
+		}
+		res := &cachedResult{scores: scores, results: topResults(scores, top)}
+		cache.Put(key, res)
+		return res, nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	if shared {
+		return v.(*cachedResult), "coalesced", nil
+	}
+	return v.(*cachedResult), "miss", nil
+}
+
+// Stats is the server-wide operational snapshot served at GET /v1/stats.
+type Stats struct {
+	Graphs int               `json:"graphs"`
+	Cache  resultcache.Stats `json:"cache"`
+}
+
+// Stats reports the registry size and cache counters.
+func (s *Server) Stats() Stats {
+	st := Stats{Cache: s.resultCache().Stats()}
+	st.Cache.Coalesced = s.flight.Coalesced()
+	s.mu.RLock()
+	st.Graphs = len(s.graphs)
+	s.mu.RUnlock()
+	return st
+}
+
+func (s *Server) handleServerStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// maxBatchSeeds bounds one batch request; larger batches should be split
+// by the client so admission control and timeouts stay meaningful.
+const maxBatchSeeds = 1024
+
+type batchRequest struct {
+	Seeds []int `json:"seeds"`
+	Top   int   `json:"top"`
+}
+
+// BatchSeedResult is one seed's slot in a batch response.
+type BatchSeedResult struct {
+	Seed    int          `json:"seed"`
+	Cache   string       `json:"cache"` // hit | miss
+	Results []ScoredNode `json:"results"`
+}
+
+// handleBatch answers POST /v1/graphs/{name}/batch: each seed is first
+// looked up in the result cache (sharing entries with the single-seed
+// query endpoint), and all misses are solved together through the blocked
+// multi-RHS batch solver — one factor traversal per chunk of seeds instead
+// of one per seed. Results are bit-identical to the single-seed path.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.lookup(name)
+	if !ok {
+		writeError(w, errNotFound(name))
+		return
+	}
+	var req batchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.MaxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, errBadRequest("decoding body: %v", err))
+		return
+	}
+	if len(req.Seeds) == 0 {
+		writeError(w, errBadRequest("seeds must not be empty"))
+		return
+	}
+	if len(req.Seeds) > maxBatchSeeds {
+		writeError(w, errBadRequest("batch of %d seeds exceeds the limit of %d", len(req.Seeds), maxBatchSeeds))
+		return
+	}
+	n := e.dyn.Graph().N()
+	for _, seed := range req.Seeds {
+		if seed < 0 || seed >= n {
+			writeError(w, errBadRequest("seed %d out of range [0,%d)", seed, n))
+			return
+		}
+	}
+	top := req.Top
+	if top <= 0 {
+		top = 10
+	}
+	if top > n {
+		top = n
+	}
+
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	cache := s.resultCache()
+	// One epoch read covers the whole batch, taken before any solving, so
+	// every entry written below is safe under the fresher-than-promised
+	// rule even if updates land mid-batch.
+	epoch := e.dyn.Epoch()
+	out := make([]BatchSeedResult, len(req.Seeds))
+	keys := make([]resultcache.Key, len(req.Seeds))
+	var missIdx []int
+	for i, seed := range req.Seeds {
+		h := e.hasher("query").Int(seed).Byte(0).Int(top)
+		keys[i] = resultcache.Key{Gen: e.gen, Epoch: epoch, Hash: h.Sum()}
+		if v, ok := cache.Get(keys[i]); ok {
+			out[i] = BatchSeedResult{Seed: seed, Cache: "hit", Results: v.(*cachedResult).results}
+		} else {
+			missIdx = append(missIdx, i)
+		}
+	}
+	status := "hit"
+	if len(missIdx) > 0 {
+		status = "miss"
+		missSeeds := make([]int, len(missIdx))
+		for j, i := range missIdx {
+			missSeeds[j] = req.Seeds[i]
+		}
+		vecs, err := e.dyn.QueryBatchCtx(ctx, missSeeds, 0)
+		if err != nil {
+			writeError(w, queryError(err))
+			return
+		}
+		for j, i := range missIdx {
+			res := &cachedResult{scores: vecs[j], results: topResults(vecs[j], top)}
+			cache.Put(keys[i], res)
+			out[i] = BatchSeedResult{Seed: req.Seeds[i], Cache: "miss", Results: res.results}
+		}
+	}
+	w.Header().Set("X-Cache", status)
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"graph":   name,
+		"results": out,
+	})
+}

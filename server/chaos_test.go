@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -89,6 +90,112 @@ func TestChaosQueriesDuringRebuild(t *testing.T) {
 	waitForPending(t, base+"/g", 0)
 	close(stop)
 	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// TestChaosCacheInvalidationRace checks the cache's one correctness
+// obligation under concurrency: after an edge update is acknowledged, no
+// request may ever be answered with a pre-update score vector. A single
+// checker thread alternates drastic weight updates with verified queries
+// while read-only workers keep the cache hot and another goroutine fires
+// overlapping async rebuilds; the checker compares every HTTP answer
+// against a fresh direct solve of the post-update state. Tolerance is
+// 1e-9, not bit-identity, because a concurrent rebuild may swap the
+// Woodbury-corrected state for a refactorized one mid-check — same graph,
+// different floating-point path. Run with -race.
+func TestChaosCacheInvalidationRace(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.RebuildThreshold = 0 // rebuilds driven explicitly below
+	base := ts.URL + "/v1/graphs"
+	doJSON(t, "PUT", base+"/g", edgeListBody(), http.StatusCreated)
+	e, ok := s.lookup("g")
+	if !ok {
+		t.Fatal("graph not registered")
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan string, 64)
+
+	// Read-only workers: their only job is to keep cache entries and
+	// in-flight solves alive so the checker races against a warm cache.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(fmt.Sprintf("%s/g/query?seed=%d&top=5", base, w*3))
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Sprintf("reader seed %d: status %d", w*3, resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Overlapping async rebuilds: they change no semantic state (they only
+	// fold already-accepted updates), but each swap bumps the epoch and
+	// must not resurrect older entries.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			resp, err := http.Post(base+"/g/rebuild?async=1", "application/json", nil)
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				errs <- fmt.Sprintf("async rebuild: status %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+
+	// The checker is the only goroutine that mutates the graph, so between
+	// its update and its verification the semantic state is fixed.
+	const checkSeed = 5
+	for i := 0; i < 15; i++ {
+		body := fmt.Sprintf(`{"op":"add","u":%d,"v":%d,"w":30}`, checkSeed, 30+i)
+		doJSON(t, "POST", base+"/g/edges", body, http.StatusOK)
+		expected, err := e.dyn.QueryCtx(context.Background(), checkSeed)
+		if err != nil {
+			t.Fatalf("round %d: direct solve: %v", i, err)
+		}
+		out := doJSON(t, "GET", fmt.Sprintf("%s/g/query?seed=%d&top=8", base, checkSeed), "", http.StatusOK)
+		for _, raw := range out["results"].([]interface{}) {
+			r := raw.(map[string]interface{})
+			node := int(r["node"].(float64))
+			got := r["score"].(float64)
+			if math.Abs(got-expected[node]) > 1e-9 {
+				t.Fatalf("round %d: stale score for node %d: served %v, post-update state says %v",
+					i, node, got, expected[node])
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	waitForPending(t, base+"/g", 0)
 	select {
 	case msg := <-errs:
 		t.Fatal(msg)

@@ -171,6 +171,10 @@ func (s *Server) ReadSnapshot(r io.Reader) error {
 			dyn:     dyn,
 			opts:    dyn.Options(),
 			created: time.Unix(0, int64(createdNano)),
+			// A fresh generation: the restored Dynamic restarts its epoch
+			// at zero, so entries cached against the pre-restore instance
+			// must not be reachable from post-restore keys.
+			gen: nextGen.Add(1),
 		}
 	}
 	var foot [snapFooterLen]byte

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"bear"
+	"bear/internal/resultcache"
 )
 
 // Server is a registry of preprocessed graphs behind an http.Handler. The
@@ -66,14 +67,29 @@ type Server struct {
 	// (default: the log package's standard logger).
 	ErrorLog *log.Logger
 
-	sem     chan struct{}
-	semOnce sync.Once
+	// CacheMaxBytes bounds the result cache (default 64 MiB). Zero or
+	// negative disables caching; identical concurrent queries still
+	// coalesce into one solve either way.
+	CacheMaxBytes int64
+
+	// CacheTTL expires cached results after this duration (default 0 = no
+	// expiry). The cache is already exact without a TTL — every update and
+	// rebuild makes stale entries unreachable by key — so a TTL is only a
+	// memory-pressure lever, not a correctness one.
+	CacheTTL time.Duration
+
+	sem       chan struct{}
+	semOnce   sync.Once
+	cache     *resultcache.Cache
+	cacheOnce sync.Once
+	flight    resultcache.Flight
 }
 
 type entry struct {
 	dyn     *bear.Dynamic
 	opts    bear.Options
 	created time.Time
+	gen     uint64 // registration generation; part of every cache key
 }
 
 // New returns an empty server with defaults.
@@ -85,6 +101,7 @@ func New() *Server {
 		MaxConcurrent:    256,
 		AcquireTimeout:   250 * time.Millisecond,
 		RetryAfter:       time.Second,
+		CacheMaxBytes:    64 << 20,
 	}
 }
 
@@ -98,9 +115,15 @@ func New() *Server {
 //	GET    /v1/graphs/{name}/query?seed=&top=&ei=
 //	GET    /v1/graphs/{name}/pagerank?top=
 //	POST   /v1/graphs/{name}/ppr      (body: {"seeds":{"3":0.5},"top":10})
+//	POST   /v1/graphs/{name}/batch    (body: {"seeds":[1,2,3],"top":10})
 //	POST   /v1/graphs/{name}/edges    (body: {"op":"add","u":1,"v":2,"w":1})
 //	POST   /v1/graphs/{name}/rebuild  (?async=1 for a non-blocking rebuild)
 //	POST   /v1/snapshot               (persist the registry to SnapshotPath)
+//	GET    /v1/stats                  (registry size + result-cache counters)
+//
+// Read endpoints answer through the epoch-keyed result cache and set an
+// X-Cache header (hit, miss, or coalesced — the request shared another
+// in-flight solve).
 //
 // All /v1 routes run behind admission control (503 + Retry-After under
 // overload) and panic recovery; /healthz bypasses admission so probes
@@ -114,9 +137,11 @@ func (s *Server) Handler() http.Handler {
 	api.HandleFunc("GET /v1/graphs/{name}/query", s.handleQuery)
 	api.HandleFunc("GET /v1/graphs/{name}/pagerank", s.handlePageRank)
 	api.HandleFunc("POST /v1/graphs/{name}/ppr", s.handlePPR)
+	api.HandleFunc("POST /v1/graphs/{name}/batch", s.handleBatch)
 	api.HandleFunc("POST /v1/graphs/{name}/edges", s.handleEdges)
 	api.HandleFunc("POST /v1/graphs/{name}/rebuild", s.handleRebuild)
 	api.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	api.HandleFunc("GET /v1/stats", s.handleServerStats)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -147,7 +172,7 @@ func (s *Server) Add(name string, g *bear.Graph, opts bear.Options) error {
 		return err
 	}
 	s.mu.Lock()
-	s.graphs[name] = &entry{dyn: dyn, opts: opts, created: time.Now()}
+	s.graphs[name] = &entry{dyn: dyn, opts: opts, created: time.Now(), gen: nextGen.Add(1)}
 	s.mu.Unlock()
 	return nil
 }
@@ -415,7 +440,6 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	var scores []float64
 	useEI := r.URL.Query().Get("ei") != ""
 	if useEI && e.dyn.PendingNodes() > 0 {
 		writeError(w, errBadRequest("effective importance requires a rebuild after updates"))
@@ -423,19 +447,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
+	var ei byte
 	if useEI {
-		scores, err = e.dyn.Precomputed().QueryEffectiveImportanceCtx(ctx, seed)
-	} else {
-		scores, err = e.dyn.QueryCtx(ctx, seed)
+		ei = 1
 	}
+	hash := e.hasher("query").Int(seed).Byte(ei).Int(top).Sum()
+	res, status, err := s.cachedSolve(ctx, e, hash, top, func(ctx context.Context) ([]float64, error) {
+		if useEI {
+			return e.dyn.Precomputed().QueryEffectiveImportanceCtx(ctx, seed)
+		}
+		return e.dyn.QueryCtx(ctx, seed)
+	})
 	if err != nil {
 		writeError(w, queryError(err))
 		return
 	}
+	w.Header().Set("X-Cache", status)
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"graph":   name,
 		"seed":    seed,
-		"results": topResults(scores, top),
+		"results": res.results,
 	})
 }
 
@@ -452,20 +483,24 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	q := make([]float64, n)
-	for i := range q {
-		q[i] = 1 / float64(n)
-	}
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
-	scores, err := e.dyn.QueryDistCtx(ctx, q)
+	hash := e.hasher("pagerank").Int(top).Sum()
+	res, status, err := s.cachedSolve(ctx, e, hash, top, func(ctx context.Context) ([]float64, error) {
+		q := make([]float64, n)
+		for i := range q {
+			q[i] = 1 / float64(n)
+		}
+		return e.dyn.QueryDistCtx(ctx, q)
+	})
 	if err != nil {
 		writeError(w, queryError(err))
 		return
 	}
+	w.Header().Set("X-Cache", status)
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"graph":   name,
-		"results": topResults(scores, top),
+		"results": res.results,
 	})
 }
 
@@ -514,16 +549,35 @@ func (s *Server) handlePPR(w http.ResponseWriter, r *http.Request) {
 		}
 		q[node] = weight
 	}
+	top := req.Top
+	if top <= 0 {
+		top = 10
+	}
+	if top > n {
+		top = n
+	}
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
-	scores, err := e.dyn.QueryDistCtx(ctx, q)
+	// Fold the normalized distribution (node-order, zeros skipped) so the
+	// hash is independent of JSON key order and duplicate spellings.
+	h := e.hasher("ppr")
+	for node, weight := range q {
+		if weight != 0 {
+			h = h.Int(node).Float64(weight)
+		}
+	}
+	hash := h.Int(top).Sum()
+	res, status, err := s.cachedSolve(ctx, e, hash, top, func(ctx context.Context) ([]float64, error) {
+		return e.dyn.QueryDistCtx(ctx, q)
+	})
 	if err != nil {
 		writeError(w, queryError(err))
 		return
 	}
+	w.Header().Set("X-Cache", status)
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"graph":   name,
-		"results": topResults(scores, req.Top),
+		"results": res.results,
 	})
 }
 

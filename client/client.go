@@ -79,6 +79,7 @@ type APIError struct {
 	RetryAfter time.Duration
 }
 
+// Error renders the server's message alongside the HTTP status.
 func (e *APIError) Error() string {
 	return fmt.Sprintf("bear service: %s (HTTP %d)", e.Message, e.Status)
 }
@@ -277,6 +278,21 @@ func (c *Client) Query(ctx context.Context, name string, seed, top int) ([]serve
 	return out.Results, err
 }
 
+// QueryTraced is Query plus the server's per-stage solver timing
+// breakdown (?trace=1): one span per Algorithm 2 stage the request
+// executed, merged and in execution order. A cache hit returns only the
+// cache-lookup span. Useful for latency debugging; the untraced Query is
+// the hot-path call.
+func (c *Client) QueryTraced(ctx context.Context, name string, seed, top int) ([]server.ScoredNode, []server.TraceSpan, error) {
+	path := fmt.Sprintf("/v1/graphs/%s/query?seed=%d&top=%d&trace=1", url.PathEscape(name), seed, top)
+	var out struct {
+		Results []server.ScoredNode `json:"results"`
+		Trace   []server.TraceSpan  `json:"trace"`
+	}
+	err := c.do(ctx, http.MethodGet, path, nil, true, &out)
+	return out.Results, out.Trace, err
+}
+
 // QueryEffectiveImportance returns top-k effective-importance results.
 func (c *Client) QueryEffectiveImportance(ctx context.Context, name string, seed, top int) ([]server.ScoredNode, error) {
 	path := fmt.Sprintf("/v1/graphs/%s/query?seed=%d&top=%d&ei=1", url.PathEscape(name), seed, top)
@@ -385,4 +401,24 @@ func (c *Client) RebuildAsync(ctx context.Context, name string) error {
 // snapshot path (crash-safe: written to a temp file and renamed).
 func (c *Client) Snapshot(ctx context.Context) error {
 	return c.do(ctx, http.MethodPost, "/v1/snapshot", nil, true, nil)
+}
+
+// Metrics fetches the server's Prometheus scrape body (GET /metrics),
+// for ad-hoc inspection where no scraper is running. Returns an
+// *APIError with status 404 if the server runs with metrics disabled.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", readAPIError(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
 }

@@ -56,6 +56,8 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result cache budget in bytes (negative = disable caching)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "result cache entry lifetime (0 = until evicted; invalidation is by epoch, not TTL)")
 	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof (empty = disabled); keep it off public interfaces")
+	metrics := flag.Bool("metrics", true, "serve Prometheus metrics at GET /metrics")
+	traceSlow := flag.Duration("trace-slow", 0, "trace every query and log a per-stage breakdown for ones slower than this (0 = off), e.g. -trace-slow=50ms")
 	flag.Var(&graphs, "graph", "name=path of a graph to preprocess at startup (repeatable)")
 	flag.Parse()
 
@@ -66,6 +68,8 @@ func main() {
 	s.SnapshotPath = *snapshot
 	s.CacheMaxBytes = *cacheBytes
 	s.CacheTTL = *cacheTTL
+	s.EnableMetrics = *metrics
+	s.TraceSlow = *traceSlow
 
 	if *pprofAddr != "" {
 		// A separate listener keeps the profiling surface off the service

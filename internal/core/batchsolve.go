@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+
+	"bear/internal/obsv"
 )
 
 // This file implements the blocked multi-RHS batch solver: Algorithm 2
@@ -161,6 +163,7 @@ func (p *Precomputed) queryChunkTo(ctx context.Context, dst [][]float64, seeds [
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	tr := obsv.FromContext(ctx)
 	n1, n2 := p.N1, p.N2
 	nb := len(cols)
 	b1 := bw.b1[:n1*nb]
@@ -181,6 +184,7 @@ func (p *Precomputed) queryChunkTo(ctx context.Context, dst [][]float64, seeds [
 
 	var r2 []float64
 	if n2 > 0 {
+		sw := tr.Start(obsv.SpanForwardSolve)
 		h := bw.h[:n2*nb]
 		// Forward half, one same-block run at a time: t = U₁⁻¹ L₁⁻¹ b₁
 		// restricted to the run's diagonal block (Lemma 1), then the H₂₁
@@ -223,10 +227,12 @@ func (p *Precomputed) queryChunkTo(ctx context.Context, dst [][]float64, seeds [
 			}
 			rs = re
 		}
+		sw.Stop()
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		// Schur stage at full chunk width: y = P(b₂ − H₂₁t), r₂ = U₂⁻¹L₂⁻¹y.
+		sw = tr.Start(obsv.SpanSchurSolve)
 		for i := range h {
 			h[i] = b2[i] - h[i]
 		}
@@ -241,10 +247,12 @@ func (p *Precomputed) queryChunkTo(ctx context.Context, dst [][]float64, seeds [
 		y, spare = spare, y
 		p.U2Inv.MulMultiTo(spare, y, nb)
 		r2 = spare
+		sw.Stop()
 	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	swb := tr.Start(obsv.SpanBackSolve)
 
 	// Back-substitution at full chunk width:
 	// r₁ = U₁⁻¹ L₁⁻¹ (b₁ − H₁₂ r₂).
@@ -281,6 +289,7 @@ func (p *Precomputed) queryChunkTo(ctx context.Context, dst [][]float64, seeds [
 			}
 		}
 	}
+	swb.Stop()
 	return nil
 }
 

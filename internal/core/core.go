@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -21,6 +22,7 @@ import (
 
 	"bear/internal/dense"
 	"bear/internal/graph"
+	"bear/internal/obsv"
 	"bear/internal/slashburn"
 	"bear/internal/sparse"
 )
@@ -144,6 +146,25 @@ func (p *Precomputed) initDerived() {
 	for i, sz := range p.Blocks {
 		p.BlockOffsets[i+1] = p.BlockOffsets[i] + sz
 	}
+}
+
+// PreprocessCtx is Preprocess recording the per-stage timings of
+// Algorithm 1 — SlashBurn, per-block LU of H₁₁, Schur-complement assembly,
+// and the Schur factorization (the split Figure 8 of the paper reports) —
+// into the obsv.Trace carried by ctx, if any. The stages themselves are
+// not cancellable; the context is an observability channel only.
+func PreprocessCtx(ctx context.Context, g *graph.Graph, opts Options) (*Precomputed, error) {
+	p, err := Preprocess(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	if tr := obsv.FromContext(ctx); tr != nil {
+		tr.Add(obsv.SpanSlashBurn, p.Stats.TimeSlashBurn)
+		tr.Add(obsv.SpanBlockLU, p.Stats.TimeLU1)
+		tr.Add(obsv.SpanSchurAssembly, p.Stats.TimeSchur)
+		tr.Add(obsv.SpanSchurFactor, p.Stats.TimeLU2)
+	}
+	return p, nil
 }
 
 // Preprocess runs Algorithm 1 of the paper on g.

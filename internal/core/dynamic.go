@@ -10,6 +10,7 @@ import (
 
 	"bear/internal/dense"
 	"bear/internal/graph"
+	"bear/internal/obsv"
 )
 
 // ErrRebuildInProgress is returned by Rebuild when another rebuild of the
@@ -291,6 +292,7 @@ func (d *Dynamic) deltaColumn(u int) []float64 {
 // column solves; a cancelled refresh leaves the cache invalid so the next
 // query redoes it.
 func (d *Dynamic) refreshWoodbury(ctx context.Context) error {
+	defer obsv.FromContext(ctx).Start(obsv.SpanWoodburyRefresh).Stop()
 	k := len(d.dirty)
 	d.hw = make([][]float64, k)
 	ws := d.p.AcquireWorkspace()
@@ -371,6 +373,7 @@ func (d *Dynamic) queryDistLocked(ctx context.Context, q []float64) ([]float64, 
 	if k > 0 {
 		// α = capMat · (Eᵀ x); r = x − (H⁻¹W) α. The cache was built by
 		// QueryDistCtx before taking the read lock.
+		sw := obsv.FromContext(ctx).Start(obsv.SpanWoodburyTerms)
 		y := make([]float64, k)
 		for i, u := range d.dirty {
 			y[i] = x[u]
@@ -389,6 +392,7 @@ func (d *Dynamic) queryDistLocked(ctx context.Context, q []float64) ([]float64, 
 				x[node] -= a * col[node]
 			}
 		}
+		sw.Stop()
 	}
 	for i := range x {
 		x[i] *= d.p.C

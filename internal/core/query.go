@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"bear/internal/obsv"
 )
 
 // Query computes the RWR score vector for a single seed node (Algorithm 2
@@ -89,11 +91,13 @@ func (p *Precomputed) solveToCtx(ctx context.Context, dst, b []float64, ws *Work
 // solveGeneralToCtx is the unrestricted block-elimination solve: permute
 // and split b, forward pass through the spoke factors, Schur-complement
 // solve, back-substitution, and the inverse permutation into dst.
-// Cancellation is checked between the stages.
+// Cancellation is checked between the stages, and each stage records a
+// span into the trace carried by ctx (a no-op when tracing is off).
 func (p *Precomputed) solveGeneralToCtx(ctx context.Context, dst, b []float64, ws *Workspace) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	tr := obsv.FromContext(ctx)
 	n1 := p.N1
 	bp := ws.full
 	for node, v := range b {
@@ -102,16 +106,22 @@ func (p *Precomputed) solveGeneralToCtx(ctx context.Context, dst, b []float64, w
 	b1, b2 := bp[:n1], bp[n1:]
 
 	// t = U₁⁻¹ (L₁⁻¹ b₁), the forward half of Algorithm 2.
+	sw := tr.Start(obsv.SpanForwardSolve)
 	p.L1Inv.MulVecTo(ws.s1a, b1)
 	p.U1Inv.MulVecTo(ws.s1b, ws.s1a)
+	sw.Stop()
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	sw = tr.Start(obsv.SpanSchurSolve)
 	r2 := p.schurSolveTo(b2, ws.s1b, 0, n1, ws)
+	sw.Stop()
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	sw = tr.Start(obsv.SpanBackSolve)
 	p.backSolveTo(dst, b1, r2, ws)
+	sw.Stop()
 	return nil
 }
 
@@ -128,6 +138,7 @@ func (p *Precomputed) solveSeedToCtx(ctx context.Context, dst []float64, pos int
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	tr := obsv.FromContext(ctx)
 	n1, n2 := p.N1, p.N2
 	bp := ws.full
 	for i := range bp {
@@ -139,22 +150,33 @@ func (p *Precomputed) solveSeedToCtx(ctx context.Context, dst []float64, pos int
 	var r2 []float64
 	if n2 > 0 {
 		if pos < n1 {
+			sw := tr.Start(obsv.SpanForwardSolve)
 			bi := p.blockOfPos(pos)
 			lo, hi := p.BlockOffsets[bi], p.BlockOffsets[bi+1]
 			p.L1Inv.MulVecRangeTo(ws.s1a, b1, lo, hi)
 			p.U1Inv.MulVecRangeTo(ws.s1b, ws.s1a, lo, hi)
+			sw.Stop()
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			sw = tr.Start(obsv.SpanSchurSolve)
 			r2 = p.schurSolveTo(b2, ws.s1b, lo, hi, ws)
+			sw.Stop()
 		} else {
+			// A hub seed has b₁ = 0, so the forward half vanishes; record
+			// the span anyway so traces always show the full stage set.
+			tr.Add(obsv.SpanForwardSolve, 0)
+			sw := tr.Start(obsv.SpanSchurSolve)
 			r2 = p.schurSolveTo(b2, nil, 0, 0, ws)
+			sw.Stop()
 		}
 	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	sw := tr.Start(obsv.SpanBackSolve)
 	p.backSolveTo(dst, b1, r2, ws)
+	sw.Stop()
 	return nil
 }
 

@@ -22,6 +22,7 @@ type FlakyReader struct {
 	read int64
 }
 
+// Read implements io.Reader, delivering at most N bytes before failing.
 func (f *FlakyReader) Read(p []byte) (int, error) {
 	if f.read >= f.N {
 		return 0, f.err()
@@ -62,6 +63,7 @@ type FlakyWriter struct {
 	written int64
 }
 
+// Write implements io.Writer, accepting at most N bytes before failing.
 func (f *FlakyWriter) Write(p []byte) (int, error) {
 	if f.written >= f.N {
 		return 0, f.err()
@@ -95,6 +97,7 @@ type CorruptingWriter struct {
 	pos  int64
 }
 
+// Write implements io.Writer, flipping the configured byte in passing.
 func (c *CorruptingWriter) Write(p []byte) (int, error) {
 	mask := c.Mask
 	if mask == 0 {

@@ -1,0 +1,105 @@
+package obsv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// The scrape-validity check: a deliberately small validator for the
+// Prometheus text exposition format (version 0.0.4), used by tests to
+// assert that /metrics output parses — without pulling in a Prometheus
+// dependency. It checks line syntax, metric/label name charsets, value
+// parseability, and that every sample belongs to a family announced by a
+// preceding # TYPE line.
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRe     = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^{}]*)\})?\s+(\S+)(\s+-?\d+)?\s*$`)
+	labelRe      = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\["\\n])*"$`)
+)
+
+// LintPrometheusText reads a text-format exposition and returns an error
+// describing the first malformed line, or nil when every line parses.
+func LintPrometheusText(r io.Reader) error {
+	types := map[string]string{} // family name -> type
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				if len(fields) < 3 || !metricNameRe.MatchString(fields[2]) {
+					return fmt.Errorf("line %d: malformed %s comment: %q", lineNo, fields[1], line)
+				}
+				if fields[1] == "TYPE" {
+					if len(fields) != 4 {
+						return fmt.Errorf("line %d: TYPE wants exactly one type: %q", lineNo, line)
+					}
+					switch fields[3] {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+					default:
+						return fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+					}
+					types[fields[2]] = fields[3]
+				}
+			}
+			continue // other comments are free-form
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample line: %q", lineNo, line)
+		}
+		name, labels, value := m[1], m[3], m[4]
+		if labels != "" {
+			for _, pair := range splitLabelPairs(labels) {
+				if !labelRe.MatchString(pair) {
+					return fmt.Errorf("line %d: malformed label pair %q", lineNo, pair)
+				}
+			}
+		}
+		switch value {
+		case "+Inf", "-Inf", "NaN":
+		default:
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				return fmt.Errorf("line %d: unparseable value %q", lineNo, value)
+			}
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+			"_bucket"), "_sum"), "_count")
+		if _, ok := types[name]; !ok {
+			if _, ok := types[base]; !ok {
+				return fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+			}
+		}
+	}
+	return sc.Err()
+}
+
+// splitLabelPairs splits `a="x",b="y"` on commas outside quoted values.
+func splitLabelPairs(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}

@@ -1,0 +1,445 @@
+// Package obsv is the zero-dependency observability layer: a metrics
+// registry (counters, gauges, fixed-bucket histograms) rendered in the
+// Prometheus text exposition format, and a lightweight per-query trace
+// that records named solver-stage timings as it is carried through the
+// query path by context.Context.
+//
+// The design goal is transparency of the underlying matrix kernels at
+// near-zero cost on the hot path: metric updates are single atomic
+// operations, and the trace is nil-safe — every method on a nil *Trace is
+// a no-op that performs no allocation and reads no clock, so the
+// uninstrumented query path (no trace in the context) pays only a
+// context lookup and a nil check per stage.
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a metric series. Series under
+// the same metric name are distinguished by their full label sets.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Counter is a monotonically increasing integer metric. All methods are
+// safe for concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 metric that can go up and down. All methods are safe
+// for concurrent use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (which may be negative) atomically.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// FuncCounter is a counter whose value is read from a callback at
+// collection time — the bridge for subsystems that already maintain their
+// own monotonic counters (e.g. the result cache). The callback must be
+// safe for concurrent use and must never decrease.
+type FuncCounter struct{ fn atomic.Pointer[func() uint64] }
+
+// Value invokes the callback (zero before one is bound).
+func (c *FuncCounter) Value() uint64 {
+	if p := c.fn.Load(); p != nil {
+		return (*p)()
+	}
+	return 0
+}
+
+// FuncGauge is a gauge whose value is read from a callback at collection
+// time. The callback must be safe for concurrent use.
+type FuncGauge struct {
+	fn atomic.Pointer[func() float64]
+}
+
+// Value invokes the callback (zero before one is bound).
+func (g *FuncGauge) Value() float64 {
+	if p := g.fn.Load(); p != nil {
+		return (*p)()
+	}
+	return 0
+}
+
+// LatencyBuckets is the default histogram bucket layout for request and
+// solve latencies, in seconds: roughly logarithmic from 100µs to 10s,
+// which brackets everything from a cached lookup to a cold preprocessing
+// pass on the serving path.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram counts observations into fixed buckets and tracks their sum,
+// Prometheus-style (cumulative le semantics on export). Observations and
+// reads are lock-free; a snapshot read concurrent with writes may be off
+// by in-flight observations but is never torn per-field.
+type Histogram struct {
+	bounds  []float64       // ascending upper bounds; +Inf implied at the end
+	counts  []atomic.Uint64 // len(bounds)+1; counts[i] = observations ≤ bounds[i]
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = LatencyBuckets
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obsv: histogram bucket bounds must be ascending")
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v; overflow lands in +Inf
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts by
+// linear interpolation inside the bucket containing the target rank — the
+// same estimate Prometheus's histogram_quantile computes. Observations in
+// the +Inf overflow bucket clamp to the highest finite bound. It returns
+// NaN when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) { // overflow bucket: clamp to last finite bound
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled instance under a metric family. metric is one of
+// *Counter, *Gauge, *FuncCounter, *FuncGauge, or *Histogram.
+type series struct {
+	labels   []Label
+	rendered string // `{a="b",c="d"}` or "" when unlabeled
+	metric   interface{}
+}
+
+// family groups every series sharing a metric name, so HELP/TYPE headers
+// are emitted once per name and kind conflicts are caught at registration.
+type family struct {
+	name, help string
+	kind       metricKind
+	order      []string // label strings in registration order
+	series     map[string]*series
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. All methods are safe for concurrent use. Metric
+// constructors are get-or-create: registering the same name and label set
+// twice returns the same series, so wiring code can run idempotently.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// renderLabels produces the canonical `{k="v",...}` form, labels sorted
+// by name so the same label set is the same series regardless of the
+// order the call site listed it.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels) > 1 && !sort.SliceIsSorted(labels, func(i, j int) bool { return labels[i].Name < labels[j].Name }) {
+		sorted := make([]Label, len(labels))
+		copy(sorted, labels)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+		labels = sorted
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// getOrCreate finds or registers the series for (name, labels), creating
+// the family on first use. It panics when the same name is reused with a
+// different metric kind — a programming error, not a runtime condition.
+func (r *Registry) getOrCreate(name, help string, kind metricKind, labels []Label, make func() interface{}) interface{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, series: map[string]*series{}}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obsv: metric %q re-registered as %v (was %v)", name, kind, f.kind))
+	}
+	key := renderLabels(labels)
+	if s, ok := f.series[key]; ok {
+		return s.metric
+	}
+	s := &series{labels: append([]Label(nil), labels...), rendered: key, metric: make()}
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s.metric
+}
+
+// Counter returns the counter registered under name with the given labels,
+// creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.getOrCreate(name, help, kindCounter, labels, func() interface{} { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge registered under name with the given labels,
+// creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.getOrCreate(name, help, kindGauge, labels, func() interface{} { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the histogram registered under name with the given
+// labels, creating it on first use with the given bucket upper bounds
+// (nil selects LatencyBuckets). Bounds are fixed at first registration;
+// later calls for the same name ignore the argument.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	return r.getOrCreate(name, help, kindHistogram, labels, func() interface{} { return newHistogram(bounds) }).(*Histogram)
+}
+
+// CounterFunc registers a counter series whose value is fn() at collection
+// time, replacing the callback if the series already exists (so a
+// re-registered graph rebinds its callback to the live object).
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) *FuncCounter {
+	c := r.getOrCreate(name, help, kindCounter, labels, func() interface{} { return &FuncCounter{} }).(*FuncCounter)
+	c.fn.Store(&fn)
+	return c
+}
+
+// GaugeFunc registers a gauge series whose value is fn() at collection
+// time, replacing the callback if the series already exists.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) *FuncGauge {
+	g := r.getOrCreate(name, help, kindGauge, labels, func() interface{} { return &FuncGauge{} }).(*FuncGauge)
+	g.fn.Store(&fn)
+	return g
+}
+
+// DeleteLabeled removes every series (across all families) carrying the
+// label pair name="value" — used to drop a deleted graph's per-graph
+// series so they stop appearing in scrapes.
+func (r *Registry) DeleteLabeled(name, value string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.families {
+		kept := f.order[:0]
+		for _, key := range f.order {
+			s := f.series[key]
+			drop := false
+			for _, l := range s.labels {
+				if l.Name == name && l.Value == value {
+					drop = true
+					break
+				}
+			}
+			if drop {
+				delete(f.series, key)
+			} else {
+				kept = append(kept, key)
+			}
+		}
+		f.order = kept
+	}
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range r.families {
+		if len(f.order) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, key := range f.order {
+			s := f.series[key]
+			switch m := s.metric.(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.rendered, m.Value())
+			case *FuncCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.rendered, m.Value())
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.rendered, formatFloat(m.Value()))
+			case *FuncGauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.rendered, formatFloat(m.Value()))
+			case *Histogram:
+				writeHistogram(&b, f.name, s, m)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative _bucket lines
+// with an le label appended to the series labels, then _sum and _count.
+func writeHistogram(b *strings.Builder, name string, s *series, h *Histogram) {
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLE(s, le), cum)
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, s.rendered, formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, s.rendered, h.Count())
+}
+
+// withLE splices le="bound" into a series' rendered label string.
+func withLE(s *series, le string) string {
+	if s.rendered == "" {
+		return `{le="` + le + `"}`
+	}
+	return s.rendered[:len(s.rendered)-1] + `,le="` + le + `"}`
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving WritePrometheus — the body of a
+// GET /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

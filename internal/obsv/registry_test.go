@@ -1,0 +1,201 @@
+package obsv
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Get-or-create: same name and labels yields the same series.
+	if again := r.Counter("test_total", "a counter"); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("test_gauge", "a gauge", L("k", "v"))
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+	fc := r.CounterFunc("test_fn_total", "func counter", func() uint64 { return 42 })
+	if got := fc.Value(); got != 42 {
+		t.Fatalf("func counter = %d, want 42", got)
+	}
+	// Rebinding replaces the callback on the same series.
+	r.CounterFunc("test_fn_total", "func counter", func() uint64 { return 7 })
+	if got := fc.Value(); got != 7 {
+		t.Fatalf("rebound func counter = %d, want 7", got)
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual_total", "first as counter")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic re-registering a counter as a gauge")
+		}
+	}()
+	r.Gauge("dual_total", "now as gauge")
+}
+
+// TestHistogramBucketBoundaries pins the le semantics: an observation
+// equal to a bound lands in that bound's bucket, one just above it in the
+// next, and overflow in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.100001, 1, 5, 10, 11, 1e9} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 2, 2} // ≤0.1: {0.05, 0.1}; ≤1: {0.100001, 1}; ≤10: {5, 10}; +Inf: {11, 1e9}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d count = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 8 {
+		t.Errorf("count = %d, want 8", h.Count())
+	}
+	if got, want := h.Sum(), 0.05+0.1+0.100001+1+5+10+11+1e9; math.Abs(got-want) > 1e-6 {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "quantile test", []float64{1, 2, 4, 8})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+	// 100 observations uniform over (0, 4]: 25 per bucket of {1, 2, 4}.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.04)
+	}
+	// p50 rank = 50 falls exactly at the top of the (1,2] bucket.
+	if got := h.Quantile(0.5); math.Abs(got-2) > 1e-9 {
+		t.Errorf("p50 = %g, want 2", got)
+	}
+	// p95 rank = 95: 50 below 2, 45th of 50 in (2,4] → 2 + 2*(45/50) = 3.8.
+	if got := h.Quantile(0.95); math.Abs(got-3.8) > 1e-9 {
+		t.Errorf("p95 = %g, want 3.8", got)
+	}
+	// Quantiles clamp to [0,1]; overflow observations clamp to the last
+	// finite bound.
+	h.Observe(100)
+	if got := h.Quantile(1); got != 8 {
+		t.Errorf("p100 with overflow = %g, want clamp to 8", got)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines; run
+// under -race this is the data-race gate, and the final counts must add up
+// regardless.
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("conc_seconds", "concurrency test", []float64{0.5})
+	c := r.Counter("conc_total", "concurrency counter")
+	g := r.Gauge("conc_gauge", "concurrency gauge")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%2) * 0.9) // alternates buckets
+				c.Inc()
+				g.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != workers*per {
+		t.Errorf("gauge = %g, want %d", got, workers*per)
+	}
+	if lo, hi := h.counts[0].Load(), h.counts[1].Load(); lo != hi || lo+hi != workers*per {
+		t.Errorf("bucket split = %d/%d, want %d/%d", lo, hi, workers*per/2, workers*per/2)
+	}
+}
+
+func TestWritePrometheusAndLint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bear_test_requests_total", "requests", L("endpoint", "query"), L("code", "200")).Add(3)
+	r.Gauge("bear_test_in_flight", "in flight").Set(2)
+	r.GaugeFunc("bear_test_graphs", "registered graphs", func() float64 { return 1 })
+	h := r.Histogram("bear_test_seconds", "latency", []float64{0.1, 1}, L("endpoint", "query"))
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.Counter("bear_test_escape_total", "escaping", L("name", "a\"b\\c\nd")).Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE bear_test_requests_total counter",
+		`bear_test_requests_total{code="200",endpoint="query"} 3`,
+		"bear_test_in_flight 2",
+		"bear_test_graphs 1",
+		`bear_test_seconds_bucket{endpoint="query",le="0.1"} 1`,
+		`bear_test_seconds_bucket{endpoint="query",le="1"} 2`,
+		`bear_test_seconds_bucket{endpoint="query",le="+Inf"} 3`,
+		`bear_test_seconds_count{endpoint="query"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q\n%s", want, text)
+		}
+	}
+	if err := LintPrometheusText(strings.NewReader(text)); err != nil {
+		t.Errorf("lint of own output: %v\n%s", err, text)
+	}
+}
+
+func TestDeleteLabeled(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("per_graph", "per graph", L("graph", "a")).Set(1)
+	r.Gauge("per_graph", "per graph", L("graph", "b")).Set(2)
+	r.DeleteLabeled("graph", "a")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if strings.Contains(b.String(), `graph="a"`) {
+		t.Errorf("deleted series still rendered:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), `graph="b"`) {
+		t.Errorf("surviving series missing:\n%s", b.String())
+	}
+}
+
+func TestLintRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":       "orphan_metric 1\n",
+		"bad value":     "# TYPE m counter\nm abc\n",
+		"bad type":      "# TYPE m histogramm\nm 1\n",
+		"bad label":     "# TYPE m counter\nm{9bad=\"x\"} 1\n",
+		"unquoted":      "# TYPE m counter\nm{a=b} 1\n",
+		"malformed row": "# TYPE m counter\nm{a=\"b\"\n",
+	}
+	for name, text := range cases {
+		if err := LintPrometheusText(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: lint accepted malformed input %q", name, text)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package obsv
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span names recorded by the solver and serving layers. Query-phase spans
+// map onto the stages of Algorithm 2 of the paper; preprocessing spans map
+// onto the lines of Algorithm 1 (the split Figure 8 of the paper reports).
+const (
+	// Preprocessing (Algorithm 1).
+	SpanSlashBurn     = "slashburn"      // lines 2-3: hub-and-spoke reordering
+	SpanBlockLU       = "block_lu"       // line 5: per-block LU of H11 + factor inversion
+	SpanSchurAssembly = "schur_assembly" // line 6: S = H22 − H21 U1⁻¹ L1⁻¹ H12
+	SpanSchurFactor   = "schur_factor"   // line 8: LU of S + factor inversion
+
+	// Query phase (Algorithm 2).
+	SpanForwardSolve = "forward_solve" // lines 2-3: t = U1⁻¹ L1⁻¹ b1 (block-restricted for one seed)
+	SpanSchurSolve   = "schur_solve"   // line 4: r2 = U2⁻¹ L2⁻¹ P (b2 − H21 t)
+	SpanBackSolve    = "backsolve"     // line 5: r1 = U1⁻¹ L1⁻¹ (b1 − H12 r2), plus the inverse permutation
+
+	// Dynamic (Woodbury) layer.
+	SpanWoodburyRefresh = "woodbury_refresh" // rebuild of the capacitance matrix and H⁻¹W columns
+	SpanWoodburyTerms   = "woodbury_terms"   // rank-k correction applied to one query
+
+	// Serving layer.
+	SpanCacheLookup = "cache_lookup" // result-cache probe before solving
+)
+
+// Span is one named, timed stage of a query or preprocessing pass.
+type Span struct {
+	Name string
+	Dur  time.Duration
+}
+
+// Trace accumulates the spans of one query (or preprocessing pass) as it
+// flows through the solver. A Trace is carried by context (WithTrace /
+// FromContext); every recording method is safe for concurrent use (batch
+// chunks may record from worker goroutines) and nil-safe — on a nil
+// *Trace, Start returns an inert Stopwatch and Add is a no-op, neither
+// reading the clock nor allocating, so the disabled-trace hot path stays
+// allocation-free.
+type Trace struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace returns an empty trace ready to record.
+func NewTrace() *Trace { return &Trace{spans: make([]Span, 0, 12)} }
+
+// Stopwatch times one span; obtain one from Trace.Start and call Stop to
+// record. The zero Stopwatch (from a nil Trace) is inert.
+type Stopwatch struct {
+	t     *Trace
+	name  string
+	start time.Time
+}
+
+// Start begins timing a span. On a nil Trace it returns an inert
+// Stopwatch without reading the clock.
+func (t *Trace) Start(name string) Stopwatch {
+	if t == nil {
+		return Stopwatch{}
+	}
+	return Stopwatch{t: t, name: name, start: time.Now()}
+}
+
+// Stop records the span begun by Start. Stopping an inert Stopwatch is a
+// no-op.
+func (sw Stopwatch) Stop() {
+	if sw.t == nil {
+		return
+	}
+	sw.t.Add(sw.name, time.Since(sw.start))
+}
+
+// Add records a span with an externally measured duration. It is a no-op
+// on a nil Trace.
+func (t *Trace) Add(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Dur: d})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in recording order. Repeated
+// names are preserved (a batch query records one span set per chunk).
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Merged returns the spans folded by name — durations of repeated names
+// summed — in first-appearance order. This is the per-stage breakdown the
+// slow-query log and ?trace=1 responses render.
+func (t *Trace) Merged() []Span {
+	raw := t.Spans()
+	if raw == nil {
+		return nil
+	}
+	idx := make(map[string]int, len(raw))
+	out := make([]Span, 0, len(raw))
+	for _, s := range raw {
+		if i, ok := idx[s.Name]; ok {
+			out[i].Dur += s.Dur
+		} else {
+			idx[s.Name] = len(out)
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// String renders the merged breakdown as "name=dur name=dur ...", the
+// format the slow-query log embeds.
+func (t *Trace) String() string {
+	merged := t.Merged()
+	if len(merged) == 0 {
+		return "(no spans)"
+	}
+	var b strings.Builder
+	for i, s := range merged {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", s.Name, s.Dur.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// traceKey is the context key for the active Trace. An empty struct key
+// makes FromContext allocation-free.
+type traceKey struct{}
+
+// WithTrace returns a context carrying t; the solver stages record into
+// it. Passing a nil t returns ctx unchanged.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the Trace carried by ctx, or nil when tracing is
+// disabled. The nil return value is directly usable: all Trace methods
+// are nil-safe no-ops.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

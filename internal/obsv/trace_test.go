@@ -1,0 +1,95 @@
+package obsv
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilTraceIsInert: every method on a nil *Trace must be a safe no-op —
+// this is the contract the disabled-trace solver hot path relies on.
+func TestNilTraceIsInert(t *testing.T) {
+	var tr *Trace
+	sw := tr.Start("stage")
+	sw.Stop()
+	tr.Add("stage", time.Second)
+	if tr.Spans() != nil || tr.Merged() != nil {
+		t.Error("nil trace returned spans")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Error("background context should carry no trace")
+	}
+	if ctx := WithTrace(context.Background(), nil); FromContext(ctx) != nil {
+		t.Error("WithTrace(nil) should not install a trace")
+	}
+}
+
+func TestTraceRecordAndMerge(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("FromContext did not return the installed trace")
+	}
+	tr.Add(SpanForwardSolve, 2*time.Millisecond)
+	tr.Add(SpanSchurSolve, time.Millisecond)
+	tr.Add(SpanForwardSolve, 3*time.Millisecond) // second chunk
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d raw spans, want 3", len(spans))
+	}
+	merged := tr.Merged()
+	if len(merged) != 2 {
+		t.Fatalf("got %d merged spans, want 2", len(merged))
+	}
+	if merged[0].Name != SpanForwardSolve || merged[0].Dur != 5*time.Millisecond {
+		t.Errorf("merged[0] = %+v, want forward_solve 5ms", merged[0])
+	}
+	if merged[1].Name != SpanSchurSolve || merged[1].Dur != time.Millisecond {
+		t.Errorf("merged[1] = %+v, want schur_solve 1ms", merged[1])
+	}
+	s := tr.String()
+	if !strings.Contains(s, "forward_solve=5ms") || !strings.Contains(s, "schur_solve=1ms") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestStopwatchRecordsElapsed(t *testing.T) {
+	tr := NewTrace()
+	sw := tr.Start("work")
+	time.Sleep(2 * time.Millisecond)
+	sw.Stop()
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Name != "work" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].Dur < time.Millisecond {
+		t.Errorf("recorded %v, want ≥ 1ms", spans[0].Dur)
+	}
+}
+
+// TestTraceConcurrent records from several goroutines, as batch chunk
+// workers do; run under -race this is the data-race gate.
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Add(SpanBackSolve, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != workers*per {
+		t.Errorf("got %d spans, want %d", got, workers*per)
+	}
+	merged := tr.Merged()
+	if len(merged) != 1 || merged[0].Dur != workers*per*time.Microsecond {
+		t.Errorf("merged = %+v", merged)
+	}
+}

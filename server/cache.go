@@ -3,9 +3,12 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"sync/atomic"
+	"time"
 
+	"bear/internal/obsv"
 	"bear/internal/resultcache"
 )
 
@@ -64,7 +67,10 @@ func (e *entry) hasher(kind string) resultcache.Hasher {
 func (s *Server) cachedSolve(ctx context.Context, e *entry, hash uint64, top int, solve func(context.Context) ([]float64, error)) (*cachedResult, string, error) {
 	cache := s.resultCache()
 	key := resultcache.Key{Gen: e.gen, Epoch: e.dyn.Epoch(), Hash: hash}
-	if v, ok := cache.Get(key); ok {
+	sw := obsv.FromContext(ctx).Start(obsv.SpanCacheLookup)
+	v, ok := cache.Get(key)
+	sw.Stop()
+	if ok {
 		return v.(*cachedResult), "hit", nil
 	}
 	v, shared, err := s.flight.Do(ctx, key, func() (resultcache.Value, error) {
@@ -86,19 +92,35 @@ func (s *Server) cachedSolve(ctx context.Context, e *entry, hash uint64, top int
 }
 
 // Stats is the server-wide operational snapshot served at GET /v1/stats.
+//
+// Deprecated: prefer scraping GET /metrics, which carries these counters
+// and much more in Prometheus format. The endpoint is kept for scripted
+// consumers and reads through the same metric registry, so the two views
+// can never disagree.
 type Stats struct {
 	Graphs int               `json:"graphs"`
 	Cache  resultcache.Stats `json:"cache"`
 }
 
-// Stats reports the registry size and cache counters.
+// Stats reports the registry size and cache counters. The values are read
+// back through the obsv registry series (bear_graphs, bear_cache_*) rather
+// than straight from the cache, so /v1/stats is by construction a subset
+// of what GET /metrics exposes.
 func (s *Server) Stats() Stats {
-	st := Stats{Cache: s.resultCache().Stats()}
-	st.Cache.Coalesced = s.flight.Coalesced()
-	s.mu.RLock()
-	st.Graphs = len(s.graphs)
-	s.mu.RUnlock()
-	return st
+	m := s.metrics()
+	return Stats{
+		Graphs: int(m.graphs.Value()),
+		Cache: resultcache.Stats{
+			Hits:      m.cacheHits.Value(),
+			Misses:    m.cacheMisses.Value(),
+			Coalesced: m.cacheCoalesced.Value(),
+			Evictions: m.cacheEvictions.Value(),
+			Expired:   m.cacheExpired.Value(),
+			Entries:   int(m.cacheEntries.Value()),
+			Bytes:     int64(m.cacheBytes.Value()),
+			MaxBytes:  int64(m.cacheMaxBytes.Value()),
+		},
+	}
 }
 
 func (s *Server) handleServerStats(w http.ResponseWriter, r *http.Request) {
@@ -163,6 +185,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
+	ctx, tr, debug := s.traceContext(ctx, r)
+	start := time.Now()
 	cache := s.resultCache()
 	// One epoch read covers the whole batch, taken before any solving, so
 	// every entry written below is safe under the fresher-than-promised
@@ -171,6 +195,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	out := make([]BatchSeedResult, len(req.Seeds))
 	keys := make([]resultcache.Key, len(req.Seeds))
 	var missIdx []int
+	sw := tr.Start(obsv.SpanCacheLookup)
 	for i, seed := range req.Seeds {
 		h := e.hasher("query").Int(seed).Byte(0).Int(top)
 		keys[i] = resultcache.Key{Gen: e.gen, Epoch: epoch, Hash: h.Sum()}
@@ -180,6 +205,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			missIdx = append(missIdx, i)
 		}
 	}
+	sw.Stop()
 	status := "hit"
 	if len(missIdx) > 0 {
 		status = "miss"
@@ -198,9 +224,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			out[i] = BatchSeedResult{Seed: req.Seeds[i], Cache: "miss", Results: res.results}
 		}
 	}
+	s.logSlow("batch", name, fmt.Sprintf("seeds=%d misses=%d", len(req.Seeds), len(missIdx)),
+		status, time.Since(start), tr)
 	w.Header().Set("X-Cache", status)
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	resp := map[string]interface{}{
 		"graph":   name,
 		"results": out,
-	})
+	}
+	if debug {
+		resp["trace"] = traceSpans(tr)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

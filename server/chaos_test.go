@@ -87,7 +87,7 @@ func TestChaosQueriesDuringRebuild(t *testing.T) {
 			t.Fatalf("async rebuild: status %d", resp.StatusCode)
 		}
 	}
-	waitForPending(t, base+"/g", 0)
+	drainPending(t, base+"/g")
 	close(stop)
 	wg.Wait()
 	select {
@@ -195,7 +195,7 @@ func TestChaosCacheInvalidationRace(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
-	waitForPending(t, base+"/g", 0)
+	drainPending(t, base+"/g")
 	select {
 	case msg := <-errs:
 		t.Fatal(msg)

@@ -25,6 +25,7 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 			if rec == http.ErrAbortHandler {
 				panic(rec)
 			}
+			s.metrics().panics.Inc()
 			s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
 			// If the handler already wrote a response this write fails
 			// silently, which is the best that can be done post-panic.
@@ -60,6 +61,7 @@ func (s *Server) withAdmission(next http.Handler) http.Handler {
 			select {
 			case s.sem <- struct{}{}:
 			case <-t.C:
+				s.metrics().shed.Inc()
 				w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 				writeJSON(w, http.StatusServiceUnavailable,
 					map[string]string{"error": "server at capacity; retry later"})

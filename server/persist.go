@@ -189,8 +189,20 @@ func (s *Server) ReadSnapshot(r io.Reader) error {
 		return fmt.Errorf("server: corrupt snapshot: CRC32 mismatch (stored %08x, computed %08x)", sum, cr.sum)
 	}
 	s.mu.Lock()
+	replaced := s.graphs
 	s.graphs = graphs
 	s.mu.Unlock()
+	// Restore bypasses Add, so the per-graph metric series are (re)bound
+	// here — outside s.mu, per the lock-ordering rule in metrics.go.
+	// Series of graphs that existed only pre-restore are dropped.
+	for name := range replaced {
+		if _, still := graphs[name]; !still {
+			s.dropGraphMetrics(name)
+		}
+	}
+	for name, e := range graphs {
+		s.exportGraphMetrics(name, e)
+	}
 	return nil
 }
 

@@ -78,11 +78,24 @@ type Server struct {
 	// memory-pressure lever, not a correctness one.
 	CacheTTL time.Duration
 
-	sem       chan struct{}
-	semOnce   sync.Once
-	cache     *resultcache.Cache
-	cacheOnce sync.Once
-	flight    resultcache.Flight
+	// EnableMetrics serves the Prometheus scrape endpoint at GET /metrics
+	// (default true via New). Metrics are collected either way — disabling
+	// only unmaps the endpoint.
+	EnableMetrics bool
+
+	// TraceSlow, when positive, traces every query's solver stages and logs
+	// a structured span breakdown to ErrorLog for queries slower than this
+	// threshold. Zero disables slow-query tracing; ?trace=1 per-request
+	// traces still work.
+	TraceSlow time.Duration
+
+	sem         chan struct{}
+	semOnce     sync.Once
+	cache       *resultcache.Cache
+	cacheOnce   sync.Once
+	flight      resultcache.Flight
+	metricsOnce sync.Once
+	srvMetrics  *serverMetrics
 }
 
 type entry struct {
@@ -102,6 +115,7 @@ func New() *Server {
 		AcquireTimeout:   250 * time.Millisecond,
 		RetryAfter:       time.Second,
 		CacheMaxBytes:    64 << 20,
+		EnableMetrics:    true,
 	}
 }
 
@@ -120,33 +134,38 @@ func New() *Server {
 //	POST   /v1/graphs/{name}/rebuild  (?async=1 for a non-blocking rebuild)
 //	POST   /v1/snapshot               (persist the registry to SnapshotPath)
 //	GET    /v1/stats                  (registry size + result-cache counters)
+//	GET    /metrics                   (Prometheus text format; EnableMetrics)
 //
 // Read endpoints answer through the epoch-keyed result cache and set an
 // X-Cache header (hit, miss, or coalesced — the request shared another
-// in-flight solve).
+// in-flight solve). Query endpoints accept ?trace=1 to include a
+// per-stage solver timing breakdown in the response.
 //
 // All /v1 routes run behind admission control (503 + Retry-After under
-// overload) and panic recovery; /healthz bypasses admission so probes
-// answer even when the server is saturated.
+// overload) and panic recovery; /healthz and /metrics bypass admission so
+// probes and scrapes answer even when the server is saturated.
 func (s *Server) Handler() http.Handler {
 	api := http.NewServeMux()
-	api.HandleFunc("GET /v1/graphs", s.handleList)
-	api.HandleFunc("PUT /v1/graphs/{name}", s.handlePut)
-	api.HandleFunc("GET /v1/graphs/{name}", s.handleStats)
-	api.HandleFunc("DELETE /v1/graphs/{name}", s.handleDelete)
-	api.HandleFunc("GET /v1/graphs/{name}/query", s.handleQuery)
-	api.HandleFunc("GET /v1/graphs/{name}/pagerank", s.handlePageRank)
-	api.HandleFunc("POST /v1/graphs/{name}/ppr", s.handlePPR)
-	api.HandleFunc("POST /v1/graphs/{name}/batch", s.handleBatch)
-	api.HandleFunc("POST /v1/graphs/{name}/edges", s.handleEdges)
-	api.HandleFunc("POST /v1/graphs/{name}/rebuild", s.handleRebuild)
-	api.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
-	api.HandleFunc("GET /v1/stats", s.handleServerStats)
+	api.HandleFunc("GET /v1/graphs", s.instrument("list", s.handleList))
+	api.HandleFunc("PUT /v1/graphs/{name}", s.instrument("put", s.handlePut))
+	api.HandleFunc("GET /v1/graphs/{name}", s.instrument("graph_stats", s.handleStats))
+	api.HandleFunc("DELETE /v1/graphs/{name}", s.instrument("delete", s.handleDelete))
+	api.HandleFunc("GET /v1/graphs/{name}/query", s.instrument("query", s.handleQuery))
+	api.HandleFunc("GET /v1/graphs/{name}/pagerank", s.instrument("pagerank", s.handlePageRank))
+	api.HandleFunc("POST /v1/graphs/{name}/ppr", s.instrument("ppr", s.handlePPR))
+	api.HandleFunc("POST /v1/graphs/{name}/batch", s.instrument("batch", s.handleBatch))
+	api.HandleFunc("POST /v1/graphs/{name}/edges", s.instrument("edges", s.handleEdges))
+	api.HandleFunc("POST /v1/graphs/{name}/rebuild", s.instrument("rebuild", s.handleRebuild))
+	api.HandleFunc("POST /v1/snapshot", s.instrument("snapshot", s.handleSnapshot))
+	api.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleServerStats))
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	if s.EnableMetrics {
+		mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
 	mux.Handle("/v1/", s.withAdmission(api))
 	return s.withRecovery(mux)
 }
@@ -171,9 +190,14 @@ func (s *Server) Add(name string, g *bear.Graph, opts bear.Options) error {
 	if err != nil {
 		return err
 	}
+	e := &entry{dyn: dyn, opts: opts, created: time.Now(), gen: nextGen.Add(1)}
 	s.mu.Lock()
-	s.graphs[name] = &entry{dyn: dyn, opts: opts, created: time.Now(), gen: nextGen.Add(1)}
+	s.graphs[name] = e
 	s.mu.Unlock()
+	// Registered outside s.mu: the registry must never be entered while
+	// holding the graph lock (see metrics.go). Re-registering a name
+	// rebinds the gauge callbacks to the new Dynamic.
+	s.exportGraphMetrics(name, e)
 	return nil
 }
 
@@ -379,6 +403,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errNotFound(name))
 		return
 	}
+	s.dropGraphMetrics(name)
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }
 
@@ -447,11 +472,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
+	ctx, tr, debug := s.traceContext(ctx, r)
 	var ei byte
 	if useEI {
 		ei = 1
 	}
 	hash := e.hasher("query").Int(seed).Byte(ei).Int(top).Sum()
+	start := time.Now()
 	res, status, err := s.cachedSolve(ctx, e, hash, top, func(ctx context.Context) ([]float64, error) {
 		if useEI {
 			return e.dyn.Precomputed().QueryEffectiveImportanceCtx(ctx, seed)
@@ -462,12 +489,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, queryError(err))
 		return
 	}
+	s.logSlow("query", name, fmt.Sprintf("seed=%d", seed), status, time.Since(start), tr)
 	w.Header().Set("X-Cache", status)
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	resp := map[string]interface{}{
 		"graph":   name,
 		"seed":    seed,
 		"results": res.results,
-	})
+	}
+	if debug {
+		resp["trace"] = traceSpans(tr)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
@@ -485,7 +517,9 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
+	ctx, tr, debug := s.traceContext(ctx, r)
 	hash := e.hasher("pagerank").Int(top).Sum()
+	start := time.Now()
 	res, status, err := s.cachedSolve(ctx, e, hash, top, func(ctx context.Context) ([]float64, error) {
 		q := make([]float64, n)
 		for i := range q {
@@ -497,11 +531,16 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 		writeError(w, queryError(err))
 		return
 	}
+	s.logSlow("pagerank", name, fmt.Sprintf("top=%d", top), status, time.Since(start), tr)
 	w.Header().Set("X-Cache", status)
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	resp := map[string]interface{}{
 		"graph":   name,
 		"results": res.results,
-	})
+	}
+	if debug {
+		resp["trace"] = traceSpans(tr)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // queryError classifies a failure out of the solver: context errors keep
@@ -558,6 +597,7 @@ func (s *Server) handlePPR(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
+	ctx, tr, debug := s.traceContext(ctx, r)
 	// Fold the normalized distribution (node-order, zeros skipped) so the
 	// hash is independent of JSON key order and duplicate spellings.
 	h := e.hasher("ppr")
@@ -567,6 +607,7 @@ func (s *Server) handlePPR(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	hash := h.Int(top).Sum()
+	start := time.Now()
 	res, status, err := s.cachedSolve(ctx, e, hash, top, func(ctx context.Context) ([]float64, error) {
 		return e.dyn.QueryDistCtx(ctx, q)
 	})
@@ -574,11 +615,16 @@ func (s *Server) handlePPR(w http.ResponseWriter, r *http.Request) {
 		writeError(w, queryError(err))
 		return
 	}
+	s.logSlow("ppr", name, fmt.Sprintf("seeds=%d", len(req.Seeds)), status, time.Since(start), tr)
 	w.Header().Set("X-Cache", status)
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	resp := map[string]interface{}{
 		"graph":   name,
 		"results": res.results,
-	})
+	}
+	if debug {
+		resp["trace"] = traceSpans(tr)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 type edgeRequest struct {
@@ -642,8 +688,13 @@ func (s *Server) startRebuild(name string, e *entry) {
 	if e.dyn.RebuildInProgress() {
 		return
 	}
+	okC, failC := s.rebuildCounters(name)
 	go func() {
-		if err := e.dyn.Rebuild(); err != nil && !errors.Is(err, bear.ErrRebuildInProgress) {
+		switch err := e.dyn.Rebuild(); {
+		case err == nil:
+			okC.Inc()
+		case !errors.Is(err, bear.ErrRebuildInProgress):
+			failC.Inc()
 			s.logf("background rebuild of %q: %v", name, err)
 		}
 	}()
@@ -664,11 +715,16 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	okC, failC := s.rebuildCounters(name)
 	start := time.Now()
 	if err := e.dyn.Rebuild(); err != nil {
+		if !errors.Is(err, bear.ErrRebuildInProgress) {
+			failC.Inc()
+		}
 		writeError(w, err)
 		return
 	}
+	okC.Inc()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"graph":      name,
 		"rebuild_ms": float64(time.Since(start).Microseconds()) / 1000,

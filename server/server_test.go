@@ -54,6 +54,31 @@ func doJSON(t *testing.T, method, url, body string, wantStatus int) map[string]i
 	return out
 }
 
+// drainPending folds every remaining update into a fresh preprocessing
+// pass. Posting rebuilds until pending hits zero — rather than waiting
+// passively — matters after concurrent update/rebuild churn: the last
+// rebuild may have snapshotted the graph before the last update was
+// accepted, in which case no amount of waiting drains the residue.
+func drainPending(t *testing.T, statsURL string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		stats := doJSON(t, "GET", statsURL, "", http.StatusOK)
+		if int(stats["pending_updates"].(float64)) == 0 && !stats["rebuilding"].(bool) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pending never drained: %v", stats)
+		}
+		resp, err := http.Post(statsURL+"/rebuild?async=1", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // waitForPending polls the stats endpoint until pending_updates reaches
 // want (background rebuilds drain it asynchronously).
 func waitForPending(t *testing.T, statsURL string, want int) {

@@ -30,6 +30,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzLoadMatrixMarket -fuzztime=30s ./internal/graph/
 	$(GO) test -run='^$$' -fuzz='^FuzzLoad$$' -fuzztime=30s ./internal/core/
 	$(GO) test -run='^$$' -fuzz=FuzzLoadDynamic -fuzztime=30s ./internal/core/
+	$(GO) test -run='^$$' -fuzz=FuzzDynamicUpdate -fuzztime=30s ./internal/core/
 	$(GO) test -run='^$$' -fuzz=FuzzSniffLoad -fuzztime=30s ./server/
 	$(GO) test -run='^$$' -fuzz=FuzzReadSnapshot -fuzztime=30s ./server/
 

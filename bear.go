@@ -67,6 +67,20 @@ type Workspace = core.Workspace
 // Stats reports structural and timing measurements from preprocessing.
 type Stats = core.Stats
 
+// RefineStats reports what a refined query did: sweeps applied, final
+// residual, and whether the tolerance was met. See
+// Precomputed.QueryRefined.
+type RefineStats = core.RefineStats
+
+// DefaultRefineMaxIter bounds refinement sweeps when the caller passes
+// maxIter <= 0.
+const DefaultRefineMaxIter = core.DefaultRefineMaxIter
+
+// ErrNoRetainedH is returned by Precomputed.Residual and the refined query
+// paths when preprocessing did not retain the exact system matrix H (set
+// Options.KeepH to retain it).
+var ErrNoRetainedH = core.ErrNoRetainedH
+
 // NewGraphBuilder returns a builder for a graph with n nodes.
 func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
 

@@ -293,6 +293,34 @@ func (c *Client) QueryTraced(ctx context.Context, name string, seed, top int) ([
 	return out.Results, out.Trace, err
 }
 
+// QueryRefined returns the top-k RWR results answered through the
+// server's iterative-refinement path (?refine=): the solve is verified
+// against the retained exact operator and corrected until the relative
+// residual falls below tol, recovering exact-level accuracy from a
+// drop-tolerance-degraded index. The server rejects refined queries while
+// edge updates are pending (rebuild first).
+func (c *Client) QueryRefined(ctx context.Context, name string, seed, top int, tol float64) ([]server.ScoredNode, error) {
+	path := fmt.Sprintf("/v1/graphs/%s/query?seed=%d&top=%d&refine=%s",
+		url.PathEscape(name), seed, top, url.QueryEscape(strconv.FormatFloat(tol, 'g', -1, 64)))
+	var out queryResponse
+	err := c.do(ctx, http.MethodGet, path, nil, true, &out)
+	return out.Results, err
+}
+
+// Accuracy runs the server's sampled accuracy self-check on k random
+// seeds: each is queried through the plain solver, its residual is
+// measured against the retained exact operator, and the scores are
+// compared to a refined solve. k <= 0 keeps the server default (8).
+func (c *Client) Accuracy(ctx context.Context, name string, k int) (server.AccuracyReport, error) {
+	path := "/v1/graphs/" + url.PathEscape(name) + "/accuracy"
+	if k > 0 {
+		path += fmt.Sprintf("?k=%d", k)
+	}
+	var rep server.AccuracyReport
+	err := c.do(ctx, http.MethodGet, path, nil, true, &rep)
+	return rep, err
+}
+
 // QueryEffectiveImportance returns top-k effective-importance results.
 func (c *Client) QueryEffectiveImportance(ctx context.Context, name string, seed, top int) ([]server.ScoredNode, error) {
 	path := fmt.Sprintf("/v1/graphs/%s/query?seed=%d&top=%d&ei=1", url.PathEscape(name), seed, top)

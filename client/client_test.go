@@ -262,3 +262,40 @@ func TestClientQueryBatch(t *testing.T) {
 		t.Fatal("out-of-range seed accepted")
 	}
 }
+
+func TestClientRefinedQueryAndAccuracy(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+	if _, err := c.Upload(ctx, "g", graphBody(t), UploadOptions{DropTol: 0.001}); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+
+	res, err := c.QueryRefined(ctx, "g", 3, 5, 1e-9)
+	if err != nil {
+		t.Fatalf("QueryRefined: %v", err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("QueryRefined returned %d results, want 5", len(res))
+	}
+
+	rep, err := c.Accuracy(ctx, "g", 3)
+	if err != nil {
+		t.Fatalf("Accuracy: %v", err)
+	}
+	if len(rep.Samples) != 3 {
+		t.Fatalf("Accuracy returned %d samples, want 3", len(rep.Samples))
+	}
+	if rep.MinCosine <= 0.9 || rep.MaxResidual < 0 {
+		t.Fatalf("implausible accuracy report: %+v", rep)
+	}
+
+	// A pending update turns refined queries into a clean API error.
+	if _, err := c.AddEdge(ctx, "g", 0, 5, 2); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	_, err = c.QueryRefined(ctx, "g", 3, 5, 1e-9)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("QueryRefined with pending updates: %v, want 400", err)
+	}
+}

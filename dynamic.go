@@ -1,6 +1,7 @@
 package bear
 
 import (
+	"context"
 	"io"
 
 	"bear/internal/core"
@@ -23,6 +24,12 @@ type Dynamic = core.Dynamic
 // NewDynamic preprocesses g and wraps it for incremental updates.
 func NewDynamic(g *Graph, opts Options) (*Dynamic, error) {
 	return core.NewDynamic(g, opts)
+}
+
+// NewDynamicCtx is NewDynamic honoring cancellation on ctx during the
+// initial preprocessing pass, which aborts between Algorithm-1 stages.
+func NewDynamicCtx(ctx context.Context, g *Graph, opts Options) (*Dynamic, error) {
+	return core.NewDynamicCtx(ctx, g, opts)
 }
 
 // LoadDynamic restores a Dynamic previously written with SaveState,

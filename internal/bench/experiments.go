@@ -79,6 +79,7 @@ func Experiments() []Experiment {
 		{ID: "ablation", Paper: "design-choice ablations (Observation 1, Alg 1 line 7, wave size k)", Run: RunAblation},
 		{ID: "scaling", Paper: "supplementary: BEAR cost vs graph size at fixed density", Run: RunScaling},
 		{ID: "amortize", Paper: "Section 4.3 total-cost claim: break-even query count vs iterative", Run: RunAmortize},
+		{ID: "refine", Paper: "accuracy guardrail: iterative refinement vs drop tolerance", Run: RunRefine},
 	}
 }
 
@@ -559,6 +560,79 @@ func RunApproxPreprocess(cfg Config) ([]*Table, error) {
 				continue
 			}
 			t.AddRow(d.Name, m.Name(), elapsed)
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// RunRefine measures the accuracy guardrail across the ξ ladder: for each
+// drop tolerance, the plain BEAR-Approx query is compared — in time, memory
+// (including the retained H), residual, and cosine accuracy against an
+// exact reference — with the same query answered through iterative
+// refinement at tol 1e-9. The table shows what refinement buys (exact-level
+// accuracy at BEAR-Approx memory cost) and what it charges (a few extra
+// solves' worth of query time).
+func RunRefine(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title:   "Accuracy guardrail: iterative refinement vs drop tolerance",
+		Note:    "refined queries verify against the retained exact H at tol 1e-9; residuals are score-level ∞-norms, means over the accuracy seeds",
+		Headers: []string{"dataset", "xi", "bytes", "query", "refined_query", "sweeps", "residual", "refined_residual", "cosine", "refined_cosine"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	const tol = 1e-9
+	for _, name := range []string{"routing", "web"} {
+		d, err := DatasetByName(name)
+		if err != nil {
+			return nil, err
+		}
+		g := d.Make(cfg.Scale)
+		n := g.N()
+		seeds := RandomSeeds(n, cfg.AccuracySeeds, rng)
+		refs, err := referenceVectors(g, seeds)
+		if err != nil {
+			return nil, err
+		}
+		for _, lvl := range dropTolerances(n) {
+			p, err := core.Preprocess(g, core.Options{DropTol: lvl.Xi, KeepH: true})
+			if err != nil {
+				return nil, fmt.Errorf("refine %s ξ=%s: %w", name, lvl.Label, err)
+			}
+			q := make([]float64, n)
+			var plainT, refT time.Duration
+			var sweeps int
+			var resid, refResid, cos, refCos float64
+			for i, seed := range seeds {
+				q[seed] = 1
+				start := time.Now()
+				plain, err := p.Query(seed)
+				plainT += time.Since(start)
+				if err != nil {
+					return nil, err
+				}
+				r, err := p.Residual(plain, q)
+				if err != nil {
+					return nil, err
+				}
+				resid += r
+				start = time.Now()
+				refined, stats, err := p.QueryRefined(q, tol, 0)
+				refT += time.Since(start)
+				if err != nil {
+					return nil, err
+				}
+				sweeps += stats.Sweeps
+				refResid += stats.Residual
+				cos += Cosine(plain, refs[i])
+				refCos += Cosine(refined, refs[i])
+				q[seed] = 0
+			}
+			k := len(seeds)
+			fk := float64(k)
+			t.AddRow(name, lvl.Label, p.Bytes(),
+				plainT/time.Duration(k), refT/time.Duration(k),
+				fmt.Sprintf("%.1f", float64(sweeps)/fk),
+				resid/fk, refResid/fk, cos/fk, refCos/fk)
 		}
 	}
 	return []*Table{t}, nil

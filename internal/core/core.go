@@ -65,6 +65,13 @@ type Options struct {
 	// sequential path. Zero or one runs sequentially, matching the
 	// paper's single-threaded measurements; negative selects GOMAXPROCS.
 	Workers int
+	// KeepH retains the permuted system matrix H = I − (1−c)Ãᵀ alongside
+	// the factors. H is never subject to the drop tolerance, so it is the
+	// exact operator the factors approximate — which is what Residual and
+	// the refined query path (QueryRefinedCtx) measure against. Costs one
+	// extra copy of |H| ≈ |E| nonzeros in memory and in the precompute
+	// file.
+	KeepH bool
 }
 
 func (o Options) withDefaults() Options {
@@ -125,6 +132,11 @@ type Precomputed struct {
 	U2Inv *sparse.CSR // n₂×n₂
 	SPerm []int       // pivot permutation of S's LU: (Pb)[i] = b[SPerm[i]]
 
+	// H is the exact permuted system matrix (internal order), retained
+	// only when preprocessing ran with Options.KeepH; nil otherwise. It
+	// backs Residual and the iterative-refinement query path.
+	H *sparse.CSR
+
 	OutDegree []float64 // weighted out-degree per node, for effective importance
 
 	Stats Stats
@@ -148,13 +160,17 @@ func (p *Precomputed) initDerived() {
 	}
 }
 
-// PreprocessCtx is Preprocess recording the per-stage timings of
-// Algorithm 1 — SlashBurn, per-block LU of H₁₁, Schur-complement assembly,
-// and the Schur factorization (the split Figure 8 of the paper reports) —
-// into the obsv.Trace carried by ctx, if any. The stages themselves are
-// not cancellable; the context is an observability channel only.
+// PreprocessCtx is Preprocess with cooperative cancellation and per-stage
+// observability. The context is checked between the stages of Algorithm 1 —
+// after SlashBurn, before each diagonal block of the H₁₁ factorization,
+// between the Schur-complement products, and before the Schur
+// factorization — so a cancelled rebuild aborts within one stage (or one
+// block) instead of running minutes to completion; the context's error is
+// returned wrapped and matches errors.Is(err, ctx.Err()). Per-stage timings
+// (the split Figure 8 of the paper reports) are recorded into the
+// obsv.Trace carried by ctx, if any.
 func PreprocessCtx(ctx context.Context, g *graph.Graph, opts Options) (*Precomputed, error) {
-	p, err := Preprocess(g, opts)
+	p, err := preprocessCtx(ctx, g, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -167,8 +183,14 @@ func PreprocessCtx(ctx context.Context, g *graph.Graph, opts Options) (*Precompu
 	return p, nil
 }
 
-// Preprocess runs Algorithm 1 of the paper on g.
+// Preprocess runs Algorithm 1 of the paper on g without a cancellation
+// point; it is PreprocessCtx with a background context.
 func Preprocess(g *graph.Graph, opts Options) (*Precomputed, error) {
+	return preprocessCtx(context.Background(), g, opts)
+}
+
+// preprocessCtx runs Algorithm 1, polling ctx between stages.
+func preprocessCtx(ctx context.Context, g *graph.Graph, opts Options) (*Precomputed, error) {
 	opts = opts.withDefaults()
 	if opts.C <= 0 || opts.C >= 1 {
 		return nil, fmt.Errorf("core: restart probability %g outside (0,1)", opts.C)
@@ -196,6 +218,9 @@ func Preprocess(g *graph.Graph, opts Options) (*Precomputed, error) {
 	tsb := time.Now()
 	sb := slashburn.Run(g, k)
 	timeSlashBurn := time.Since(tsb)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: preprocessing aborted after SlashBurn: %w", err)
+	}
 
 	p := &Precomputed{
 		N:      n,
@@ -229,9 +254,15 @@ func Preprocess(g *graph.Graph, opts Options) (*Precomputed, error) {
 	// which also makes the blocks embarrassingly parallel.
 	tlu1 := time.Now()
 	var l1inv, u1inv *sparse.CSR
-	if workers > 1 && len(sb.Blocks) > 1 {
-		li, ui, err := sparse.BlockDiagLUInverse(h11, sb.Blocks, workers)
+	if len(sb.Blocks) > 1 {
+		// The per-block path is bit-identical to whole-matrix LU (Lemma 1)
+		// even at workers == 1, and it gives cancellation a per-block poll
+		// point, so any multi-block H₁₁ takes it.
+		li, ui, err := sparse.BlockDiagLUInverseCancel(h11, sb.Blocks, workers, ctx.Err)
 		if err != nil {
+			if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+				return nil, fmt.Errorf("core: preprocessing aborted during block LU: %w", err)
+			}
 			return nil, fmt.Errorf("core: factoring H11 blocks: %w", err)
 		}
 		l1inv, u1inv = li, ui
@@ -258,13 +289,22 @@ func Preprocess(g *graph.Graph, opts Options) (*Precomputed, error) {
 	var s *sparse.CSR
 	if p.N2 > 0 {
 		t1 := sparse.ParallelMul(l1inv, h12, workers)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: preprocessing aborted during Schur assembly: %w", err)
+		}
 		t2 := sparse.ParallelMul(u1inv, t1, workers)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: preprocessing aborted during Schur assembly: %w", err)
+		}
 		t3 := sparse.ParallelMul(h21, t2, workers)
 		s = sparse.Sub(h22, t3).Prune()
 	} else {
 		s = sparse.NewCSR(0, 0, nil)
 	}
 	timeSchur := time.Since(tschur)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: preprocessing aborted after Schur assembly: %w", err)
+	}
 
 	// Line 7: reorder hubs in ascending order of degree within S.
 	if p.N2 > 1 && !opts.NoHubOrder {
@@ -298,6 +338,15 @@ func Preprocess(g *graph.Graph, opts Options) (*Precomputed, error) {
 		u2inv = u2inv.Drop(opts.DropTol)
 		h12 = h12.Drop(opts.DropTol)
 		h21 = h21.Drop(opts.DropTol)
+	}
+
+	// Retain the exact permuted operator if asked. Built from the original
+	// H with the final permutation — line 7 above folds the hub reorder
+	// into perm after hp was formed, so hp's ordering is already stale.
+	// Never subject to the drop tolerance (line 9): H is the ground truth
+	// Residual and refinement measure the dropped factors against.
+	if opts.KeepH {
+		p.H = h.Permute(perm, perm).ToCSR()
 	}
 
 	p.Perm = perm
@@ -423,6 +472,9 @@ func (p *Precomputed) NNZ() int64 {
 func (p *Precomputed) Bytes() int64 {
 	b := p.L1Inv.Bytes() + p.U1Inv.Bytes() + p.H12.Bytes() + p.H21.Bytes() +
 		p.L2Inv.Bytes() + p.U2Inv.Bytes()
+	if p.H != nil {
+		b += p.H.Bytes()
+	}
 	b += int64(len(p.Perm)+len(p.InvPerm)+len(p.SPerm)) * 8
 	b += int64(len(p.OutDegree)) * 8
 	return b

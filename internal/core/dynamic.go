@@ -11,12 +11,22 @@ import (
 	"bear/internal/dense"
 	"bear/internal/graph"
 	"bear/internal/obsv"
+	"bear/internal/sparse"
 )
 
 // ErrRebuildInProgress is returned by Rebuild when another rebuild of the
 // same Dynamic is already running; the caller can simply wait for it (the
 // in-flight rebuild folds a snapshot of the updates the caller observed).
 var ErrRebuildInProgress = errors.New("core: rebuild already in progress")
+
+// nodeRow is the complete current out-row of an updated node: destinations
+// sorted and duplicate-free (the canonical form graph.Builder produces),
+// weights finite and non-negative. Rows are immutable once installed —
+// every mutation replaces the whole row — so they may alias graph storage.
+type nodeRow struct {
+	dst []int
+	w   []float64
+}
 
 // Dynamic extends BEAR toward the paper's stated future work — frequently
 // changing graphs — without re-running the preprocessing phase on every
@@ -38,9 +48,17 @@ var ErrRebuildInProgress = errors.New("core: rebuild already in progress")
 type Dynamic struct {
 	mu   sync.RWMutex
 	base *graph.Graph // graph the precomputed matrices reflect
-	cur  *graph.Graph // graph with all accepted updates applied
 	p    *Precomputed
 	opts Options
+
+	// The current graph is represented as base plus a per-node row
+	// overlay, so a single-node update costs O(|row|), not an O(N+M)
+	// whole-graph rebuild. overlay holds the complete current rows of
+	// nodes whose out-edges differ from base; every other row is read from
+	// base. curCache memoizes the materialized current graph and is nil
+	// while stale (invalidated by every accepted update).
+	overlay  map[int]nodeRow
+	curCache *graph.Graph
 
 	dirty []int // nodes whose out-edges differ from base, sorted
 
@@ -49,10 +67,11 @@ type Dynamic struct {
 	hw     [][]float64   // columns of H⁻¹ W, indexed like dirty
 
 	// Rebuild-in-flight state. While a rebuild preprocesses a snapshot of
-	// cur outside the lock, queries keep serving the old precomputed
-	// matrices (Woodbury-corrected through dirty as usual) and sinceSnap
-	// records the nodes updated after the snapshot was taken — they become
-	// the new dirty set when the rebuilt matrices are swapped in.
+	// the current graph outside the lock, queries keep serving the old
+	// precomputed matrices (Woodbury-corrected through dirty as usual) and
+	// sinceSnap records the nodes updated after the snapshot was taken —
+	// they become the new dirty set when the rebuilt matrices are swapped
+	// in.
 	rebuilding bool
 	sinceSnap  []int
 
@@ -64,11 +83,17 @@ type Dynamic struct {
 
 // NewDynamic preprocesses g and wraps it for incremental updates.
 func NewDynamic(g *graph.Graph, opts Options) (*Dynamic, error) {
-	p, err := Preprocess(g, opts)
+	return NewDynamicCtx(context.Background(), g, opts)
+}
+
+// NewDynamicCtx is NewDynamic honoring cancellation on ctx during the
+// initial preprocessing pass (see PreprocessCtx).
+func NewDynamicCtx(ctx context.Context, g *graph.Graph, opts Options) (*Dynamic, error) {
+	p, err := PreprocessCtx(ctx, g, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Dynamic{base: g, cur: g, p: p, opts: opts}, nil
+	return &Dynamic{base: g, curCache: g, p: p, opts: opts}, nil
 }
 
 // Precomputed returns the underlying BEAR state (reflecting the graph as
@@ -79,11 +104,74 @@ func (d *Dynamic) Precomputed() *Precomputed {
 	return d.p
 }
 
-// Graph returns the current graph with all updates applied.
+// Graph returns the current graph with all updates applied, materializing
+// it from the base graph and the update overlay if no materialized form is
+// cached. The returned graph is immutable; repeated calls between updates
+// return the same instance.
 func (d *Dynamic) Graph() *graph.Graph {
 	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.cur
+	g := d.curCache
+	d.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.materializeLocked()
+}
+
+// materializeLocked returns the current graph, building and caching it
+// from base ⊕ overlay when stale. Callers must hold the write lock.
+func (d *Dynamic) materializeLocked() *graph.Graph {
+	if d.curCache != nil {
+		return d.curCache
+	}
+	if len(d.overlay) == 0 {
+		d.curCache = d.base
+		return d.base
+	}
+	n := d.base.N()
+	rowPtr := make([]int, n+1)
+	for u := 0; u < n; u++ {
+		if row, ok := d.overlay[u]; ok {
+			rowPtr[u+1] = rowPtr[u] + len(row.dst)
+		} else {
+			rowPtr[u+1] = rowPtr[u] + d.base.OutDegree(u)
+		}
+	}
+	colIdx := make([]int, 0, rowPtr[n])
+	val := make([]float64, 0, rowPtr[n])
+	for u := 0; u < n; u++ {
+		dst, w := d.curRowLocked(u)
+		colIdx = append(colIdx, dst...)
+		val = append(val, w...)
+	}
+	d.curCache = graph.FromCSR(&sparse.CSR{R: n, C: n, RowPtr: rowPtr, ColIdx: colIdx, Val: val})
+	return d.curCache
+}
+
+// curRowLocked returns node u's current out-row without materializing the
+// whole graph: the overlay row if u was updated, the base row otherwise.
+// The returned slices alias internal storage and must not be modified.
+// Callers must hold the lock (read or write).
+func (d *Dynamic) curRowLocked(u int) ([]int, []float64) {
+	if row, ok := d.overlay[u]; ok {
+		return row.dst, row.w
+	}
+	return d.base.Out(u)
+}
+
+// setRowLocked installs a canonical (sorted, duplicate-free, validated)
+// row as node u's current out-edges and invalidates everything derived
+// from the old row. The slices must be fresh or immutable — they are
+// retained.
+func (d *Dynamic) setRowLocked(u int, dst []int, w []float64) {
+	if d.overlay == nil {
+		d.overlay = make(map[int]nodeRow)
+	}
+	d.overlay[u] = nodeRow{dst: dst, w: w}
+	d.curCache = nil
+	d.markDirty(u)
 }
 
 // Options returns the preprocessing options this Dynamic was built (and
@@ -104,7 +192,8 @@ func (d *Dynamic) PendingNodes() int {
 
 // UpdateNode replaces the out-edges of node u with the given destinations
 // and weights (parallel slices; duplicates are summed). Weights must be
-// non-negative.
+// finite and non-negative — +Inf is rejected along with NaN and negatives,
+// since an infinite weight poisons the row normalization into NaN scores.
 func (d *Dynamic) UpdateNode(u int, dst []int, w []float64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -112,7 +201,7 @@ func (d *Dynamic) UpdateNode(u int, dst []int, w []float64) error {
 }
 
 func (d *Dynamic) updateNodeLocked(u int, dst []int, w []float64) error {
-	n := d.cur.N()
+	n := d.base.N()
 	if u < 0 || u >= n {
 		return fmt.Errorf("core: node %d out of range [0,%d)", u, n)
 	}
@@ -123,61 +212,101 @@ func (d *Dynamic) updateNodeLocked(u int, dst []int, w []float64) error {
 		if v < 0 || v >= n {
 			return fmt.Errorf("core: destination %d out of range [0,%d)", v, n)
 		}
-		if w[i] < 0 || math.IsNaN(w[i]) {
-			return fmt.Errorf("core: weight %g for edge %d->%d", w[i], u, v)
+		if w[i] < 0 || math.IsNaN(w[i]) || math.IsInf(w[i], 0) {
+			return fmt.Errorf("core: weight %g for edge %d->%d; must be finite and non-negative", w[i], u, v)
 		}
 	}
-	// Rebuild the current graph with u's row replaced.
-	b := graph.NewBuilder(n)
-	for v := 0; v < n; v++ {
-		if v == u {
+	// Canonicalize into fresh slices: sorted by destination, duplicates
+	// merged by summing (the form graph.Builder would produce).
+	nd := append([]int(nil), dst...)
+	nw := append([]float64(nil), w...)
+	if !sort.IntsAreSorted(nd) {
+		ord := make([]int, len(nd))
+		for i := range ord {
+			ord[i] = i
+		}
+		sort.SliceStable(ord, func(a, b int) bool { return dst[ord[a]] < dst[ord[b]] })
+		for i, j := range ord {
+			nd[i], nw[i] = dst[j], w[j]
+		}
+	}
+	out := 0
+	for i := 0; i < len(nd); i++ {
+		if out > 0 && nd[out-1] == nd[i] {
+			nw[out-1] += nw[i]
+			if math.IsInf(nw[out-1], 0) {
+				// Individually finite duplicates can still overflow when
+				// summed; an infinite merged weight would poison the row
+				// normalization into NaN scores just like a raw +Inf.
+				return fmt.Errorf("core: merged weight for edge %d->%d overflows; must be finite", u, nd[out-1])
+			}
 			continue
 		}
-		vd, vw := d.cur.Out(v)
-		for k := range vd {
-			b.AddEdge(v, vd[k], vw[k])
-		}
+		nd[out], nw[out] = nd[i], nw[i]
+		out++
 	}
-	for k := range dst {
-		b.AddEdge(u, dst[k], w[k])
-	}
-	d.cur = b.Build()
-	d.markDirty(u)
+	d.setRowLocked(u, nd[:out], nw[:out])
 	return nil
 }
 
-// AddEdge adds (or reweights by summing) the directed edge u -> v on top of
-// the current graph.
+// AddEdge sets the directed edge u -> v to weight w on top of the current
+// graph. A new edge is inserted; an existing edge has its weight replaced
+// (update-in-place — AddEdge is idempotent, and re-adding an edge with the
+// weight it already has is a no-op that leaves the node clean). The weight
+// must be finite and non-negative. Cost is O(|row u|), independent of
+// graph size.
 func (d *Dynamic) AddEdge(u, v int, w float64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if v < 0 || v >= d.cur.N() {
-		return fmt.Errorf("core: destination %d out of range [0,%d)", v, d.cur.N())
+	n := d.base.N()
+	if u < 0 || u >= n {
+		return fmt.Errorf("core: node %d out of range [0,%d)", u, n)
 	}
-	dst, wt := d.outCopy(u)
-	return d.updateNodeLocked(u, append(dst, v), append(wt, w))
+	if v < 0 || v >= n {
+		return fmt.Errorf("core: destination %d out of range [0,%d)", v, n)
+	}
+	if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("core: weight %g for edge %d->%d; must be finite and non-negative", w, u, v)
+	}
+	dst, wt := d.curRowLocked(u)
+	k := sort.SearchInts(dst, v)
+	if k < len(dst) && dst[k] == v {
+		if wt[k] == w {
+			return nil // row unchanged; nothing to invalidate
+		}
+		nw := append([]float64(nil), wt...)
+		nw[k] = w
+		d.setRowLocked(u, append([]int(nil), dst...), nw)
+		return nil
+	}
+	nd := make([]int, 0, len(dst)+1)
+	nd = append(append(append(nd, dst[:k]...), v), dst[k:]...)
+	nw := make([]float64, 0, len(wt)+1)
+	nw = append(append(append(nw, wt[:k]...), w), wt[k:]...)
+	d.setRowLocked(u, nd, nw)
+	return nil
 }
 
 // RemoveEdge deletes the directed edge u -> v; removing a missing edge is
-// an error.
+// an error. Cost is O(|row u|), independent of graph size.
 func (d *Dynamic) RemoveEdge(u, v int) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	dst, wt := d.outCopy(u)
-	for k := range dst {
-		if dst[k] == v {
-			return d.updateNodeLocked(u, append(dst[:k], dst[k+1:]...), append(wt[:k], wt[k+1:]...))
-		}
+	n := d.base.N()
+	if u < 0 || u >= n {
+		return fmt.Errorf("core: node %d out of range [0,%d)", u, n)
 	}
-	return fmt.Errorf("core: edge %d->%d does not exist", u, v)
-}
-
-func (d *Dynamic) outCopy(u int) ([]int, []float64) {
-	if u < 0 || u >= d.cur.N() {
-		return nil, nil
+	dst, wt := d.curRowLocked(u)
+	k := sort.SearchInts(dst, v)
+	if k >= len(dst) || dst[k] != v {
+		return fmt.Errorf("core: edge %d->%d does not exist", u, v)
 	}
-	dst, w := d.cur.Out(u)
-	return append([]int(nil), dst...), append([]float64(nil), w...)
+	nd := make([]int, 0, len(dst)-1)
+	nd = append(append(nd, dst[:k]...), dst[k+1:]...)
+	nw := make([]float64, 0, len(wt)-1)
+	nw = append(append(nw, wt[:k]...), wt[k+1:]...)
+	d.setRowLocked(u, nd, nw)
+	return nil
 }
 
 func (d *Dynamic) markDirty(u int) {
@@ -214,6 +343,13 @@ func insertSorted(s []int, u int) []int {
 // new base — after the atomic swap. Only one rebuild may run at a time;
 // concurrent calls fail fast with ErrRebuildInProgress.
 func (d *Dynamic) Rebuild() error {
+	return d.RebuildCtx(context.Background())
+}
+
+// RebuildCtx is Rebuild honoring cancellation on ctx: the preprocessing
+// pass aborts between Algorithm-1 stages (see PreprocessCtx), the old
+// state stays committed, and the context's error is returned wrapped.
+func (d *Dynamic) RebuildCtx(ctx context.Context) error {
 	d.mu.Lock()
 	if d.rebuilding {
 		d.mu.Unlock()
@@ -221,10 +357,10 @@ func (d *Dynamic) Rebuild() error {
 	}
 	d.rebuilding = true
 	d.sinceSnap = nil
-	snap := d.cur // Graph is immutable; updates swap in a fresh one
+	snap := d.materializeLocked() // immutable; updates swap in a fresh cache
 	d.mu.Unlock()
 
-	p, err := Preprocess(snap, d.opts)
+	p, err := PreprocessCtx(ctx, snap, d.opts)
 
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -236,6 +372,20 @@ func (d *Dynamic) Rebuild() error {
 	d.base, d.p = snap, p
 	d.dirty = d.sinceSnap // updates accepted while preprocessing ran
 	d.sinceSnap = nil
+	// Shrink the overlay to the rows still differing from the new base —
+	// exactly the window updates. Overlay rows are complete replacements,
+	// so they stay valid against the new base verbatim, and an existing
+	// curCache still describes the current graph: the swap changed which
+	// base it is expressed against, not its contents.
+	if len(d.dirty) == 0 {
+		d.overlay = nil
+	} else {
+		kept := make(map[int]nodeRow, len(d.dirty))
+		for _, u := range d.dirty {
+			kept[u] = d.overlay[u]
+		}
+		d.overlay = kept
+	}
 	d.capMat, d.hw = nil, nil
 	// The swap changes which Precomputed answers queries (and resets the
 	// Woodbury correction), so cached results must not carry across it even
@@ -268,9 +418,8 @@ func (d *Dynamic) RebuildInProgress() bool {
 // of H touched by node u's row change, since column u of H is
 // e_u − (1−c)·(row u of Ã)ᵀ.
 func (d *Dynamic) deltaColumn(u int) []float64 {
-	delta := make([]float64, d.cur.N())
-	scatter := func(g *graph.Graph, sign float64) {
-		dst, w := g.Out(u)
+	delta := make([]float64, d.p.N)
+	scatter := func(dst []int, w []float64, sign float64) {
 		var total float64
 		for _, x := range w {
 			total += x
@@ -282,8 +431,10 @@ func (d *Dynamic) deltaColumn(u int) []float64 {
 			delta[v] += sign * -(1 - d.p.C) * w[k] / total
 		}
 	}
-	scatter(d.cur, 1)
-	scatter(d.base, -1)
+	cd, cw := d.curRowLocked(u)
+	scatter(cd, cw, 1)
+	bd, bw := d.base.Out(u)
+	scatter(bd, bw, -1)
 	return delta
 }
 
@@ -354,8 +505,8 @@ func (d *Dynamic) QueryDistCtx(ctx context.Context, q []float64) ([]float64, err
 }
 
 func (d *Dynamic) queryDistLocked(ctx context.Context, q []float64) ([]float64, error) {
-	if len(q) != d.cur.N() {
-		return nil, fmt.Errorf("core: starting vector length %d, want %d", len(q), d.cur.N())
+	if len(q) != d.p.N {
+		return nil, fmt.Errorf("core: starting vector length %d, want %d", len(q), d.p.N)
 	}
 	for i, v := range q {
 		if v < 0 || math.IsNaN(v) {
@@ -407,7 +558,9 @@ func (d *Dynamic) Query(seed int) ([]float64, error) {
 
 // QueryCtx is Query honoring cancellation and deadlines on ctx.
 func (d *Dynamic) QueryCtx(ctx context.Context, seed int) ([]float64, error) {
-	n := d.Graph().N()
+	d.mu.RLock()
+	n := d.p.N
+	d.mu.RUnlock()
 	if seed < 0 || seed >= n {
 		return nil, fmt.Errorf("core: seed %d out of range [0,%d)", seed, n)
 	}

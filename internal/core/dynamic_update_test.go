@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"bear/internal/graph/gen"
+)
+
+// TestUpdateNodeRejectsNonFinite is the regression test for the validation
+// gap where +Inf slipped past the weight check (only negatives and NaN were
+// rejected) and poisoned the row normalization into NaN scores.
+func TestUpdateNodeRejectsNonFinite(t *testing.T) {
+	g := gen.ErdosRenyi(40, 200, 60)
+	d, err := NewDynamic(g, Options{K: 1})
+	if err != nil {
+		t.Fatalf("NewDynamic: %v", err)
+	}
+	for _, bad := range []float64{math.Inf(1), math.Inf(-1), math.NaN(), -1} {
+		if err := d.UpdateNode(0, []int{1}, []float64{bad}); err == nil {
+			t.Errorf("UpdateNode accepted weight %g", bad)
+		}
+		if err := d.AddEdge(0, 1, bad); err == nil {
+			t.Errorf("AddEdge accepted weight %g", bad)
+		}
+	}
+	// Individually finite duplicate weights whose merged sum overflows are
+	// rejected too (found by FuzzDynamicUpdate).
+	if err := d.UpdateNode(0, []int{1, 1}, []float64{math.MaxFloat64, math.MaxFloat64}); err == nil {
+		t.Error("UpdateNode accepted duplicate weights summing to +Inf")
+	}
+	if d.PendingNodes() != 0 {
+		t.Fatalf("rejected updates left %d dirty nodes", d.PendingNodes())
+	}
+	// Scores stay finite after the rejections.
+	r, err := d.Query(0)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	for i, v := range r {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("score[%d] = %g after rejected updates", i, v)
+		}
+	}
+}
+
+// TestAddEdgeUpdateInPlace pins the AddEdge semantics on an existing edge:
+// the weight is replaced — not summed into a parallel duplicate — so the
+// row length is unchanged, and re-adding the weight an edge already has is
+// a no-op that leaves the node clean.
+func TestAddEdgeUpdateInPlace(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 3, 61)
+	d, err := NewDynamic(g, Options{K: 2})
+	if err != nil {
+		t.Fatalf("NewDynamic: %v", err)
+	}
+	var u, v int
+	var w0 float64
+	for u = 0; u < g.N(); u++ {
+		if dst, wt := g.Out(u); len(dst) > 0 {
+			v, w0 = dst[0], wt[0]
+			break
+		}
+	}
+	degBefore := g.OutDegree(u)
+	epoch := d.Epoch()
+
+	// Same weight: no-op, node stays clean, epoch does not advance.
+	if err := d.AddEdge(u, v, w0); err != nil {
+		t.Fatalf("AddEdge same weight: %v", err)
+	}
+	if d.PendingNodes() != 0 {
+		t.Fatalf("same-weight AddEdge marked node dirty (pending=%d)", d.PendingNodes())
+	}
+	if d.Epoch() != epoch {
+		t.Fatalf("same-weight AddEdge advanced the epoch")
+	}
+
+	// New weight: replaced in place, row length unchanged.
+	if err := d.AddEdge(u, v, w0+1.5); err != nil {
+		t.Fatalf("AddEdge new weight: %v", err)
+	}
+	dst, wt := d.Graph().Out(u)
+	if len(dst) != degBefore {
+		t.Fatalf("out-degree %d after weight update, want %d (parallel duplicate appended?)", len(dst), degBefore)
+	}
+	found := false
+	for k := range dst {
+		if dst[k] == v {
+			found = true
+			if wt[k] != w0+1.5 {
+				t.Fatalf("edge %d->%d weight %g, want %g", u, v, wt[k], w0+1.5)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("edge %d->%d missing after update", u, v)
+	}
+	got, err := d.Query(u)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	want := freshSolve(t, d.Graph(), u)
+	if diff := maxAbsDiff(got, want); diff > 1e-9 {
+		t.Fatalf("weight-replace query differs from fresh preprocess by %g", diff)
+	}
+}
+
+// TestAddEdgeRemoveEdgeRoundTrip adds a brand-new edge and removes it again;
+// the current graph must match the original edge-for-edge, and queries must
+// match the untouched static solve.
+func TestAddEdgeRemoveEdgeRoundTrip(t *testing.T) {
+	g := gen.RMAT(gen.NewRMATPul(120, 700, 0.7, 62))
+	d, err := NewDynamic(g, Options{K: 2})
+	if err != nil {
+		t.Fatalf("NewDynamic: %v", err)
+	}
+	// Find a pair (u, v) with no existing edge.
+	u, v := 0, -1
+	for ; u < g.N() && v < 0; u++ {
+		dst, _ := g.Out(u)
+		seen := make(map[int]bool, len(dst))
+		for _, x := range dst {
+			seen[x] = true
+		}
+		for cand := 0; cand < g.N(); cand++ {
+			if !seen[cand] {
+				v = cand
+				break
+			}
+		}
+	}
+	u--
+	if v < 0 {
+		t.Skip("graph is complete; no edge to add")
+	}
+	if err := d.AddEdge(u, v, 1.25); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if err := d.RemoveEdge(u, v); err != nil {
+		t.Fatalf("RemoveEdge: %v", err)
+	}
+	// The row is back to its base contents.
+	gotDst, gotW := d.Graph().Out(u)
+	wantDst, wantW := g.Out(u)
+	if len(gotDst) != len(wantDst) {
+		t.Fatalf("row %d length %d after round trip, want %d", u, len(gotDst), len(wantDst))
+	}
+	for k := range gotDst {
+		if gotDst[k] != wantDst[k] || gotW[k] != wantW[k] {
+			t.Fatalf("row %d entry %d = (%d,%g), want (%d,%g)", u, k, gotDst[k], gotW[k], wantDst[k], wantW[k])
+		}
+	}
+	// Queries through the (now zero-delta) Woodbury correction still match
+	// the static answer on the original graph.
+	got, err := d.Query(u)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	want, err := d.Precomputed().Query(u)
+	if err != nil {
+		t.Fatalf("static Query: %v", err)
+	}
+	if diff := maxAbsDiff(got, want); diff > 1e-9 {
+		t.Fatalf("round-trip query differs from static solve by %g", diff)
+	}
+}
+
+// TestUpdateNodeDuplicatesSummed: duplicate destinations in an UpdateNode
+// row are merged by summing, matching what graph.Builder produces.
+func TestUpdateNodeDuplicatesSummed(t *testing.T) {
+	g := gen.ErdosRenyi(30, 150, 63)
+	d, err := NewDynamic(g, Options{K: 1})
+	if err != nil {
+		t.Fatalf("NewDynamic: %v", err)
+	}
+	if err := d.UpdateNode(4, []int{7, 3, 7}, []float64{1, 2, 0.5}); err != nil {
+		t.Fatalf("UpdateNode: %v", err)
+	}
+	dst, w := d.Graph().Out(4)
+	if len(dst) != 2 || dst[0] != 3 || dst[1] != 7 {
+		t.Fatalf("row = %v, want [3 7]", dst)
+	}
+	if w[0] != 2 || w[1] != 1.5 {
+		t.Fatalf("weights = %v, want [2 1.5]", w)
+	}
+	got, err := d.Query(4)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	want := freshSolve(t, d.Graph(), 4)
+	if diff := maxAbsDiff(got, want); diff > 1e-9 {
+		t.Fatalf("duplicate-merge query differs from fresh preprocess by %g", diff)
+	}
+}
+
+// TestRemoveEdgeValidation: out-of-range node and missing edge both error
+// without mutating state.
+func TestRemoveEdgeValidation(t *testing.T) {
+	g := gen.ErdosRenyi(20, 80, 64)
+	d, err := NewDynamic(g, Options{K: 1})
+	if err != nil {
+		t.Fatalf("NewDynamic: %v", err)
+	}
+	if err := d.RemoveEdge(-1, 0); err == nil {
+		t.Fatal("expected out-of-range node error")
+	}
+	if err := d.RemoveEdge(20, 0); err == nil {
+		t.Fatal("expected out-of-range node error")
+	}
+	if d.PendingNodes() != 0 {
+		t.Fatalf("failed removals left %d dirty nodes", d.PendingNodes())
+	}
+}
+
+// BenchmarkDynamicUpdate pins the perf fix for single-edge updates: cost is
+// O(|row u|), not an O(N+M) whole-graph rebuild, so per-update time must
+// stay flat as the graph grows. Each iteration toggles one edge weight
+// between two values, which always changes the row and keeps the dirty set
+// at exactly one node. The updated node is the newest BA node — a leaf
+// whose degree stays constant across sizes — so any growth in ns/op would
+// expose a hidden N- or M-proportional term.
+func BenchmarkDynamicUpdate(b *testing.B) {
+	for _, n := range []int{500, 2000, 8000} {
+		g := gen.BarabasiAlbert(n, 4, 65)
+		d, err := NewDynamic(g, Options{})
+		if err != nil {
+			b.Fatalf("NewDynamic: %v", err)
+		}
+		var u, v int
+		for u = n - 1; u > 0; u-- {
+			if dst, _ := g.Out(u); len(dst) > 0 {
+				v = dst[0]
+				break
+			}
+		}
+		b.Run(fmt.Sprintf("n=%d/m=%d", n, g.M()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := d.AddEdge(u, v, 1.5+float64(i%2)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// FuzzDynamicUpdate drives arbitrary AddEdge/RemoveEdge/UpdateNode
+// sequences — including out-of-range nodes and non-finite weights — and
+// asserts the update layer never panics, invalid inputs are rejected as
+// errors, and queries after any accepted sequence return finite scores.
+func FuzzDynamicUpdate(f *testing.F) {
+	f.Add([]byte{0, 3, 5, 1})
+	f.Add([]byte{1, 3, 5, 0, 2, 3, 5, 1})
+	f.Add([]byte{2, 0, 7, 3, 0, 0, 7, 4})       // UpdateNode then Inf AddEdge
+	f.Add([]byte{0, 10, 10, 5, 1, 10, 10, 0})   // NaN weight, then remove
+	f.Add([]byte{0, 200, 2, 1, 0, 2, 200, 1})   // out-of-range endpoints
+	f.Add([]byte{2, 5, 9, 2, 2, 5, 9, 6, 0, 5}) // replace row twice, trailing bytes
+
+	const n = 24
+	weights := []float64{0, 0.5, 1, 2.5, math.Inf(1), math.NaN(), -1, math.MaxFloat64}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			data = data[:64] // bound the dirty set so Woodbury stays cheap
+		}
+		g := gen.ErdosRenyi(n, 100, 66)
+		d, err := NewDynamic(g, Options{K: 1})
+		if err != nil {
+			t.Fatalf("NewDynamic: %v", err)
+		}
+		for len(data) >= 4 {
+			op, u, v, wi := data[0]%3, int(data[1]), int(data[2]), data[3]
+			w := weights[int(wi)%len(weights)]
+			data = data[4:]
+			valid := u >= 0 && u < n && v >= 0 && v < n &&
+				w >= 0 && !math.IsNaN(w) && !math.IsInf(w, 0)
+			switch op {
+			case 0:
+				err = d.AddEdge(u, v, w)
+			case 1:
+				err = d.RemoveEdge(u, v) // missing edge is an error; must not panic
+				valid = false            // existence not tracked here; any outcome but a panic is fine
+			default:
+				err = d.UpdateNode(u, []int{v, v % n}, []float64{w, w})
+			}
+			if !valid && op != 1 && err == nil {
+				t.Fatalf("op %d accepted invalid input u=%d v=%d w=%g", op, u, v, w)
+			}
+		}
+		// Whatever was accepted must still answer with finite scores. A
+		// singular Woodbury capacitance matrix is a legal error, not a panic.
+		r, err := d.Query(0)
+		if err != nil {
+			return
+		}
+		for i, val := range r {
+			if math.IsNaN(val) || math.IsInf(val, 0) {
+				t.Fatalf("score[%d] = %g after fuzzed updates", i, val)
+			}
+		}
+	})
+}

@@ -17,20 +17,36 @@ import (
 // rejected instead of restoring silent garbage.
 var dynMagic = [8]byte{'B', 'E', 'A', 'R', 'D', 'Y', '0', '1'}
 
+// dynMagic2 identifies version 2 of the dynamic-state format: version 1
+// plus the KeepH option flag and the retained exact H (when present) in
+// the embedded precomputed payload. States that carry neither are still
+// written as version 1, byte-identical to before.
+var dynMagic2 = [8]byte{'B', 'E', 'A', 'R', 'D', 'Y', '0', '2'}
+
 // SaveState serializes the full dynamic-serving state: a restored Dynamic
 // answers every query bit-identically to this one, including the exact
 // Woodbury corrections for pending updates. The state captured is the last
 // committed one; an in-flight background Rebuild is not waited for.
 func (d *Dynamic) SaveState(w io.Writer) error {
-	d.mu.RLock()
-	base, cur, p, opts := d.base, d.cur, d.p, d.opts
+	// The write lock (rather than RLock) lets the pending-update overlay be
+	// materialized into the current graph if no materialization is cached;
+	// the lock is held only for that O(N+M) pass, not for the I/O below
+	// (every captured component is immutable once read).
+	d.mu.Lock()
+	base, p, opts := d.base, d.p, d.opts
 	dirty := append([]int(nil), d.dirty...)
-	d.mu.RUnlock()
+	cur := d.materializeLocked()
+	d.mu.Unlock()
 
+	v2 := opts.KeepH || p.H != nil
 	bw := bufio.NewWriter(w)
 	cw := &crcWriter{w: bw}
 	e := &encoder{w: cw}
-	e.bytes(dynMagic[:])
+	if v2 {
+		e.bytes(dynMagic2[:])
+	} else {
+		e.bytes(dynMagic[:])
+	}
 	e.f64(opts.C)
 	e.f64(opts.DropTol)
 	e.f64(opts.HubRatio)
@@ -39,8 +55,11 @@ func (d *Dynamic) SaveState(w io.Writer) error {
 	e.i64(int64(opts.Workers))
 	e.bool(opts.Laplacian)
 	e.bool(opts.NoHubOrder)
+	if v2 {
+		e.bool(opts.KeepH)
+	}
 	encodeGraph(e, base)
-	p.encodePayload(e)
+	p.encodePayload(e, v2)
 	e.ints(dirty)
 	if len(dirty) == 0 {
 		e.bool(false) // cur == base; don't store the graph twice
@@ -72,9 +91,10 @@ func LoadDynamic(r io.Reader) (*Dynamic, error) {
 	if d.err != nil {
 		return nil, fmt.Errorf("core: loading dynamic state: %w", d.err)
 	}
-	if got != dynMagic {
+	if got != dynMagic && got != dynMagic2 {
 		return nil, fmt.Errorf("core: bad magic %q; not a BEAR dynamic-state file", got[:])
 	}
+	v2 := got == dynMagic2
 	var opts Options
 	opts.C = d.f64()
 	opts.DropTol = d.f64()
@@ -84,11 +104,14 @@ func LoadDynamic(r io.Reader) (*Dynamic, error) {
 	opts.Workers = int(d.i64())
 	opts.Laplacian = d.bool()
 	opts.NoHubOrder = d.bool()
+	if v2 {
+		opts.KeepH = d.bool()
+	}
 	base := decodeGraph(d)
 	if d.err != nil {
 		return nil, fmt.Errorf("core: loading dynamic state: %w", d.err)
 	}
-	p, err := decodePayload(d)
+	p, err := decodePayload(d, v2)
 	if err != nil {
 		return nil, err
 	}
@@ -130,7 +153,19 @@ func RestoreDynamic(base, cur *graph.Graph, p *Precomputed, dirty []int, opts Op
 	if len(dirty) == 0 && cur != base && cur.M() != base.M() {
 		return nil, fmt.Errorf("core: restore has no dirty nodes but base and current graphs differ")
 	}
-	return &Dynamic{base: base, cur: cur, p: p, opts: opts, dirty: dirty}, nil
+	// Rebuild the row overlay from the dirty set: exactly the dirty rows
+	// may differ from base, so the overlay holds their cur rows (aliasing
+	// cur's immutable storage; rows are never mutated in place) and cur
+	// itself seeds the materialization cache.
+	var overlay map[int]nodeRow
+	if len(dirty) > 0 {
+		overlay = make(map[int]nodeRow, len(dirty))
+		for _, u := range dirty {
+			dst, w := cur.Out(u)
+			overlay[u] = nodeRow{dst: dst, w: w}
+		}
+	}
+	return &Dynamic{base: base, curCache: cur, overlay: overlay, p: p, opts: opts, dirty: dirty}, nil
 }
 
 // encodeGraph writes a graph exactly: node count, then the destination and

@@ -122,7 +122,7 @@ func TestRebuildPreservesWindowUpdates(t *testing.T) {
 	d.mu.Lock()
 	d.rebuilding = true
 	d.sinceSnap = nil
-	snap := d.cur
+	snap := d.materializeLocked()
 	d.mu.Unlock()
 
 	// An update accepted during the window.
@@ -396,7 +396,7 @@ func TestLoadLegacyV1(t *testing.T) {
 	var buf bytes.Buffer
 	e := &encoder{w: &buf}
 	e.bytes(magic[:])
-	p.encodePayload(e)
+	p.encodePayload(e, false)
 	if e.err != nil {
 		t.Fatalf("encoding v1 file: %v", e.err)
 	}

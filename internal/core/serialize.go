@@ -22,18 +22,30 @@ var magic = [8]byte{'B', 'E', 'A', 'R', 'P', 'C', '0', '1'}
 // of deserializing into silent garbage.
 var magic2 = [8]byte{'B', 'E', 'A', 'R', 'P', 'C', '0', '2'}
 
-// footerLen is the size of the v2 integrity footer.
+// magic3 identifies version 3 of the format: the v2 payload followed by an
+// extension section that carries the retained exact H (Options.KeepH), then
+// the same integrity footer. Files without a retained H are still written
+// as v2, byte-identical to before, so v3 appears only when there is
+// genuinely more to store.
+var magic3 = [8]byte{'B', 'E', 'A', 'R', 'P', 'C', '0', '3'}
+
+// footerLen is the size of the v2/v3 integrity footer.
 const footerLen = 12
 
-// Save writes the precomputed matrices in a compact binary format (version
-// 2, CRC-protected) so that the preprocessing phase can be paid once and
-// reused across processes.
+// Save writes the precomputed matrices in a compact binary format
+// (CRC-protected; version 3 when a retained H must be carried, version 2
+// otherwise) so that the preprocessing phase can be paid once and reused
+// across processes.
 func (p *Precomputed) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	cw := &crcWriter{w: bw}
 	e := &encoder{w: cw}
-	e.bytes(magic2[:])
-	p.encodePayload(e)
+	if p.H != nil {
+		e.bytes(magic3[:])
+	} else {
+		e.bytes(magic2[:])
+	}
+	p.encodePayload(e, p.H != nil)
 	if e.err != nil {
 		return fmt.Errorf("core: saving precomputed matrices: %w", e.err)
 	}
@@ -47,8 +59,11 @@ func (p *Precomputed) Save(w io.Writer) error {
 }
 
 // encodePayload writes every serialized field (everything after the magic,
-// before the footer). Shared by Save and the Dynamic state snapshot.
-func (p *Precomputed) encodePayload(e *encoder) {
+// before the footer). Shared by Save and the Dynamic state snapshot. withH
+// appends the v3 extension section — a presence flag and, when set, the
+// retained exact H; with withH false the output is byte-identical to the
+// v2 payload.
+func (p *Precomputed) encodePayload(e *encoder, withH bool) {
 	e.i64(int64(p.N))
 	e.i64(int64(p.N1))
 	e.i64(int64(p.N2))
@@ -61,12 +76,18 @@ func (p *Precomputed) encodePayload(e *encoder) {
 	for _, m := range []*sparse.CSR{p.L1Inv, p.U1Inv, p.H12, p.H21, p.L2Inv, p.U2Inv} {
 		e.csr(m)
 	}
+	if withH {
+		e.bool(p.H != nil)
+		if p.H != nil {
+			e.csr(p.H)
+		}
+	}
 }
 
 // decodePayload is the inverse of encodePayload: it decodes, validates,
 // and derives. Any error yields a nil Precomputed — never a partially
 // populated one.
-func decodePayload(d *decoder) (*Precomputed, error) {
+func decodePayload(d *decoder, withH bool) (*Precomputed, error) {
 	p := &Precomputed{}
 	p.N = int(d.i64())
 	p.N1 = int(d.i64())
@@ -84,10 +105,15 @@ func decodePayload(d *decoder) (*Precomputed, error) {
 	for i := range ms {
 		ms[i] = d.csr()
 	}
+	var h *sparse.CSR
+	if withH && d.bool() {
+		h = d.csr()
+	}
 	if d.err != nil {
 		return nil, fmt.Errorf("core: loading precomputed matrices: %w", d.err)
 	}
 	p.L1Inv, p.U1Inv, p.H12, p.H21, p.L2Inv, p.U2Inv = ms[0], ms[1], ms[2], ms[3], ms[4], ms[5]
+	p.H = h
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
@@ -108,9 +134,9 @@ func Load(r io.Reader) (*Precomputed, error) {
 	}
 	switch got {
 	case magic: // legacy v1: no footer
-		return decodePayload(d)
-	case magic2:
-		p, err := decodePayload(d)
+		return decodePayload(d, false)
+	case magic2, magic3:
+		p, err := decodePayload(d, got == magic3)
 		if err != nil {
 			return nil, err
 		}
@@ -238,6 +264,11 @@ func (p *Precomputed) validate() error {
 	} {
 		if chk != nil {
 			return chk
+		}
+	}
+	if p.H != nil {
+		if err := check("H", p.H, p.N, p.N); err != nil {
+			return err
 		}
 	}
 	return nil

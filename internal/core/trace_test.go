@@ -106,7 +106,9 @@ func TestDynamicTraceWoodbury(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewDynamic: %v", err)
 	}
-	if err := d.AddEdge(1, 2, 1); err != nil {
+	// Weight 2.5 differs from any existing weight, so the set-edge update
+	// genuinely changes the row and marks node 1 dirty.
+	if err := d.AddEdge(1, 2, 2.5); err != nil {
 		t.Fatalf("AddEdge: %v", err)
 	}
 	tr := obsv.NewTrace()

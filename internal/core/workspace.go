@@ -17,6 +17,22 @@ type Workspace struct {
 	full     []float64 // n: permuted right-hand side (b₁ ‖ b₂)
 	s1a, s1b []float64 // n₁ scratch, ping-ponged through triangular products
 	s2a, s2b []float64 // n₂ scratch for the Schur-complement stage
+
+	// Refinement scratch (SolveRefinedCtx): permuted RHS, permuted iterate,
+	// and residual. Grown lazily on the first refined solve, so plain
+	// queries never pay for them; once grown they are pooled with the rest.
+	rq, rz, rr []float64
+}
+
+// ensureRefine sizes the refinement buffers for an n-dimensional system.
+// Idempotent after the first call, so the steady-state refined path stays
+// allocation-free.
+func (ws *Workspace) ensureRefine(n int) {
+	if len(ws.rq) != n {
+		ws.rq = make([]float64, n)
+		ws.rz = make([]float64, n)
+		ws.rr = make([]float64, n)
+	}
 }
 
 // AcquireWorkspace returns a workspace sized for p, reusing a pooled one

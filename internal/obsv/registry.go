@@ -105,6 +105,15 @@ var LatencyBuckets = []float64{
 	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// ResidualBuckets is the histogram bucket layout for refinement residuals
+// (unitless ∞-norm defects): log-spaced from machine-precision territory
+// (1e-12) up to 1, bracketing everything from a converged refined solve to
+// an unrefined BEAR-Approx answer at an aggressive drop tolerance.
+var ResidualBuckets = []float64{
+	1e-12, 1e-11, 1e-10, 1e-9, 1e-8, 1e-7,
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1,
+}
+
 // Histogram counts observations into fixed buckets and tracks their sum,
 // Prometheus-style (cumulative le semantics on export). Observations and
 // reads are lock-free; a snapshot read concurrent with writes may be off

@@ -23,6 +23,10 @@ const (
 	SpanSchurSolve   = "schur_solve"   // line 4: r2 = U2⁻¹ L2⁻¹ P (b2 − H21 t)
 	SpanBackSolve    = "backsolve"     // line 5: r1 = U1⁻¹ L1⁻¹ (b1 − H12 r2), plus the inverse permutation
 
+	// Iterative refinement (BEAR-Approx accuracy guardrail).
+	SpanResidual    = "residual"     // r = c·q − H·x against the retained exact H
+	SpanRefineSweep = "refine_sweep" // one Richardson correction x ← x + P·r
+
 	// Dynamic (Woodbury) layer.
 	SpanWoodburyRefresh = "woodbury_refresh" // rebuild of the capacitance matrix and H⁻¹W columns
 	SpanWoodburyTerms   = "woodbury_terms"   // rank-k correction applied to one query

@@ -125,6 +125,17 @@ func ParallelMul(a, b *CSR, workers int) *CSR {
 // are bit-identical to LU + InverseLower/InverseUpper on the whole matrix,
 // since Gilbert–Peierls never mixes arithmetic across blocks.
 func BlockDiagLUInverse(a *CSC, blocks []int, workers int) (linv, uinv *CSR, err error) {
+	return BlockDiagLUInverseCancel(a, blocks, workers, nil)
+}
+
+// BlockDiagLUInverseCancel is BlockDiagLUInverse with a cooperative abort
+// hook: stop is polled once per block, before that block's factorization
+// starts, and a non-nil return abandons the remaining blocks and is
+// returned verbatim (so callers can match it with errors.Is through any
+// wrapping). A nil stop never aborts. Blocks already in flight run to
+// completion — factorization of one block is short relative to the whole
+// pass, so the abort latency is one block, not the full matrix.
+func BlockDiagLUInverseCancel(a *CSC, blocks []int, workers int, stop func() error) (linv, uinv *CSR, err error) {
 	if a.R != a.C {
 		panic("sparse: BlockDiagLUInverse requires a square matrix")
 	}
@@ -160,6 +171,12 @@ func BlockDiagLUInverse(a *CSC, blocks []int, workers int) (linv, uinv *CSR, err
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if stop != nil {
+				if err := stop(); err != nil {
+					results[bi].err = err
+					return
+				}
+			}
 			lo := offsets[bi]
 			hi := lo + blocks[bi]
 			blk := a.Submatrix(lo, hi, lo, hi)

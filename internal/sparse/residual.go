@@ -1,0 +1,31 @@
+package sparse
+
+import "fmt"
+
+// ResidualTo computes r = q − H·x in one fused pass: each row's H·x dot
+// product is accumulated and immediately subtracted from q, so the product
+// is never materialized and the kernel allocates nothing. r must have
+// length h.R and x length h.C; r may alias q (each r[i] is written after
+// row i's accumulation reads only x) but must not alias x.
+//
+// This is the residual kernel of BEAR's iterative-refinement loop: with x
+// an approximate solve of H·x = q from the BEAR-Approx factors, r is the
+// defect the next Richardson sweep corrects. The per-row accumulation
+// order matches MulVecTo, so residual magnitudes are reproducible
+// bit-for-bit across the plain and fused paths.
+func ResidualTo(r, q []float64, h *CSR, x []float64) {
+	if len(x) != h.C || len(r) != h.R || len(q) != h.R {
+		panic(fmt.Sprintf("sparse: ResidualTo shape mismatch: H is %dx%d, len(x)=%d, len(q)=%d, len(r)=%d",
+			h.R, h.C, len(x), len(q), len(r)))
+	}
+	for i := 0; i < h.R; i++ {
+		var s float64
+		ks, ke := h.RowPtr[i], h.RowPtr[i+1]
+		val := h.Val[ks:ke]
+		col := h.ColIdx[ks:ke:ke]
+		for j, v := range val {
+			s += v * x[col[j]]
+		}
+		r[i] = q[i] - s
+	}
+}

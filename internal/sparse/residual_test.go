@@ -1,0 +1,134 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func residTestCSR(r, c, nnz int, rng *rand.Rand) *CSR {
+	coords := make([]Coord, 0, nnz)
+	for k := 0; k < nnz; k++ {
+		coords = append(coords, Coord{
+			Row: rng.Intn(r), Col: rng.Intn(c), Val: rng.NormFloat64(),
+		})
+	}
+	return NewCSR(r, c, coords)
+}
+
+func TestResidualToMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		r := 1 + rng.Intn(40)
+		c := 1 + rng.Intn(40)
+		h := residTestCSR(r, c, rng.Intn(4*r+1), rng)
+		x := make([]float64, c)
+		q := make([]float64, r)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range q {
+			q[i] = rng.NormFloat64()
+		}
+		want := make([]float64, r)
+		h.MulVecTo(want, x)
+		for i := range want {
+			want[i] = q[i] - want[i]
+		}
+		got := make([]float64, r)
+		ResidualTo(got, q, h, x)
+		for i := range got {
+			// The fused kernel uses the same per-row accumulation order as
+			// MulVecTo, so the result is bit-identical, not merely close.
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: residual[%d] = %g, want %g", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestResidualToAliasesQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	h := residTestCSR(30, 30, 90, rng)
+	x := make([]float64, 30)
+	q := make([]float64, 30)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		q[i] = rng.NormFloat64()
+	}
+	want := make([]float64, 30)
+	ResidualTo(want, q, h, x)
+	r := append([]float64(nil), q...)
+	ResidualTo(r, r, h, x) // r aliases q
+	for i := range r {
+		if r[i] != want[i] {
+			t.Fatalf("aliased residual[%d] = %g, want %g", i, r[i], want[i])
+		}
+	}
+}
+
+func TestResidualToExactSolveIsZero(t *testing.T) {
+	// For H = I the residual of x against q is exactly q − x.
+	n := 16
+	coords := make([]Coord, n)
+	for i := range coords {
+		coords[i] = Coord{Row: i, Col: i, Val: 1}
+	}
+	h := NewCSR(n, n, coords)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i) * 0.25
+	}
+	r := make([]float64, n)
+	ResidualTo(r, x, h, x)
+	for i, v := range r {
+		if v != 0 {
+			t.Fatalf("residual[%d] = %g, want exact 0", i, v)
+		}
+	}
+}
+
+func TestResidualToShapePanics(t *testing.T) {
+	h := NewCSR(3, 4, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	ResidualTo(make([]float64, 3), make([]float64, 3), h, make([]float64, 3))
+}
+
+func TestResidualToAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	h := residTestCSR(200, 200, 1000, rng)
+	x := make([]float64, 200)
+	q := make([]float64, 200)
+	r := make([]float64, 200)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		q[i] = rng.NormFloat64()
+	}
+	if allocs := testing.AllocsPerRun(20, func() { ResidualTo(r, q, h, x) }); allocs != 0 {
+		t.Fatalf("ResidualTo allocates %.1f times per call, want 0", allocs)
+	}
+	if math.IsNaN(r[0]) {
+		t.Fatal("sanity: NaN residual")
+	}
+}
+
+func BenchmarkResidualTo(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	h := residTestCSR(5000, 5000, 50000, rng)
+	x := make([]float64, 5000)
+	q := make([]float64, 5000)
+	r := make([]float64, 5000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		q[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ResidualTo(r, q, h, x)
+	}
+}

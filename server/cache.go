@@ -182,6 +182,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if top > n {
 		top = n
 	}
+	refine, err := parseRefine(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := refineGate(e, refine); err != nil {
+		writeError(w, err)
+		return
+	}
 
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
@@ -197,7 +206,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var missIdx []int
 	sw := tr.Start(obsv.SpanCacheLookup)
 	for i, seed := range req.Seeds {
-		h := e.hasher("query").Int(seed).Byte(0).Int(top)
+		// Probe shape must stay in sync with handleQuery's key (kind
+		// "query", seed, ei byte, refine tolerance, top) so batch and
+		// single-seed requests share cache entries.
+		h := e.hasher("query").Int(seed).Byte(0).Float64(refine).Int(top)
 		keys[i] = resultcache.Key{Gen: e.gen, Epoch: epoch, Hash: h.Sum()}
 		if v, ok := cache.Get(keys[i]); ok {
 			out[i] = BatchSeedResult{Seed: seed, Cache: "hit", Results: v.(*cachedResult).results}
@@ -213,7 +225,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		for j, i := range missIdx {
 			missSeeds[j] = req.Seeds[i]
 		}
-		vecs, err := e.dyn.QueryBatchCtx(ctx, missSeeds, 0)
+		var vecs [][]float64
+		var err error
+		if refine > 0 {
+			// Refinement sweeps are per-vector (each iterate needs its own
+			// residual), so refined misses solve seed by seed instead of
+			// through the blocked multi-RHS path.
+			vecs = make([][]float64, len(missSeeds))
+			for j, seed := range missSeeds {
+				q := make([]float64, n)
+				q[seed] = 1
+				if vecs[j], err = s.refineSolve(ctx, e, q, refine); err != nil {
+					break
+				}
+			}
+		} else {
+			vecs, err = e.dyn.QueryBatchCtx(ctx, missSeeds, 0)
+		}
 		if err != nil {
 			writeError(w, queryError(err))
 			return

@@ -35,6 +35,10 @@ type serverMetrics struct {
 	shed     *obsv.Counter
 	panics   *obsv.Counter
 
+	refineQueries  *obsv.Counter
+	refineSweeps   *obsv.Counter
+	refineResidual *obsv.Histogram
+
 	cacheHits      *obsv.FuncCounter
 	cacheMisses    *obsv.FuncCounter
 	cacheCoalesced *obsv.FuncCounter
@@ -76,6 +80,13 @@ func (s *Server) metrics() *serverMetrics {
 			"Requests shed with 503 by admission control. Shed requests are not counted in bear_http_requests_total.")
 		m.panics = reg.Counter("bear_http_panics_total",
 			"Handler panics converted to 500 by the recovery middleware.")
+
+		m.refineQueries = reg.Counter("bear_refine_queries_total",
+			"Queries answered through iterative refinement (?refine=<tol> or the accuracy endpoint). Cache hits of refined results are not re-counted.")
+		m.refineSweeps = reg.Counter("bear_refine_sweeps_total",
+			"Richardson refinement sweeps applied across all refined queries; the ratio to bear_refine_queries_total is the mean sweeps per query.")
+		m.refineResidual = reg.Histogram("bear_refine_residual",
+			"Final score-level residual infinity-norm of refined queries.", obsv.ResidualBuckets)
 
 		cacheStats := func() resultcache.Stats { return s.resultCache().Stats() }
 		m.cacheHits = reg.CounterFunc("bear_cache_hits_total",
@@ -201,6 +212,14 @@ func (s *Server) exportGraphMetrics(name string, e *entry) {
 		}, g)
 	m.reg.GaugeFunc("bear_precomputed_bytes", "Memory held by the precomputed matrices and permutations.",
 		func() float64 { return float64(dyn.Precomputed().Bytes()) }, g)
+}
+
+// observeRefine records one refined solve into the refinement series.
+func (s *Server) observeRefine(stats bear.RefineStats) {
+	m := s.metrics()
+	m.refineQueries.Inc()
+	m.refineSweeps.Add(uint64(stats.Sweeps))
+	m.refineResidual.Observe(stats.Residual)
 }
 
 // dropGraphMetrics removes every per-graph series for name.

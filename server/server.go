@@ -126,10 +126,11 @@ func New() *Server {
 //	PUT    /v1/graphs/{name}?c=&drop=&laplacian=   (body: edge list or MatrixMarket)
 //	GET    /v1/graphs/{name}
 //	DELETE /v1/graphs/{name}
-//	GET    /v1/graphs/{name}/query?seed=&top=&ei=
+//	GET    /v1/graphs/{name}/query?seed=&top=&ei=&refine=
+//	GET    /v1/graphs/{name}/accuracy?k=&tol=   (sampled residual/cosine self-check)
 //	GET    /v1/graphs/{name}/pagerank?top=
-//	POST   /v1/graphs/{name}/ppr      (body: {"seeds":{"3":0.5},"top":10})
-//	POST   /v1/graphs/{name}/batch    (body: {"seeds":[1,2,3],"top":10})
+//	POST   /v1/graphs/{name}/ppr?refine=      (body: {"seeds":{"3":0.5},"top":10})
+//	POST   /v1/graphs/{name}/batch?refine=    (body: {"seeds":[1,2,3],"top":10})
 //	POST   /v1/graphs/{name}/edges    (body: {"op":"add","u":1,"v":2,"w":1})
 //	POST   /v1/graphs/{name}/rebuild  (?async=1 for a non-blocking rebuild)
 //	POST   /v1/snapshot               (persist the registry to SnapshotPath)
@@ -139,7 +140,10 @@ func New() *Server {
 // Read endpoints answer through the epoch-keyed result cache and set an
 // X-Cache header (hit, miss, or coalesced — the request shared another
 // in-flight solve). Query endpoints accept ?trace=1 to include a
-// per-stage solver timing breakdown in the response.
+// per-stage solver timing breakdown in the response, and ?refine=<tol> to
+// answer through iterative refinement against the retained exact operator
+// (recovering exact-level accuracy from a drop-tolerance-degraded index;
+// requires no pending updates).
 //
 // All /v1 routes run behind admission control (503 + Retry-After under
 // overload) and panic recovery; /healthz and /metrics bypass admission so
@@ -151,6 +155,7 @@ func (s *Server) Handler() http.Handler {
 	api.HandleFunc("GET /v1/graphs/{name}", s.instrument("graph_stats", s.handleStats))
 	api.HandleFunc("DELETE /v1/graphs/{name}", s.instrument("delete", s.handleDelete))
 	api.HandleFunc("GET /v1/graphs/{name}/query", s.instrument("query", s.handleQuery))
+	api.HandleFunc("GET /v1/graphs/{name}/accuracy", s.instrument("accuracy", s.handleAccuracy))
 	api.HandleFunc("GET /v1/graphs/{name}/pagerank", s.instrument("pagerank", s.handlePageRank))
 	api.HandleFunc("POST /v1/graphs/{name}/ppr", s.instrument("ppr", s.handlePPR))
 	api.HandleFunc("POST /v1/graphs/{name}/batch", s.instrument("batch", s.handleBatch))
@@ -183,10 +188,20 @@ func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelF
 // Add preprocesses g and registers it under name, replacing any previous
 // graph with that name. It is the programmatic equivalent of PUT.
 func (s *Server) Add(name string, g *bear.Graph, opts bear.Options) error {
+	return s.AddCtx(context.Background(), name, g, opts)
+}
+
+// AddCtx is Add honoring cancellation on ctx during the preprocessing
+// pass. The server always retains the exact system matrix H alongside the
+// factors (opts.KeepH is forced on) so the refined-query and accuracy
+// endpoints work on every registered graph; the cost is one extra |E|-sized
+// matrix per graph.
+func (s *Server) AddCtx(ctx context.Context, name string, g *bear.Graph, opts bear.Options) error {
 	if err := validateName(name); err != nil {
 		return err
 	}
-	dyn, err := bear.NewDynamic(g, opts)
+	opts.KeepH = true
+	dyn, err := bear.NewDynamicCtx(ctx, g, opts)
 	if err != nil {
 		return err
 	}
@@ -355,7 +370,15 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errBadRequest("parsing graph: %v", err))
 		return
 	}
-	if err := s.Add(name, g, opts); err != nil {
+	// Preprocess under the request context: a disconnected client aborts
+	// the pass between Algorithm-1 stages instead of burning it to
+	// completion for nobody. Context errors keep their identity so
+	// writeError maps them to the 499/504 paths.
+	if err := s.AddCtx(r.Context(), name, g, opts); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, err)
+			return
+		}
 		writeError(w, errBadRequest("preprocessing: %v", err))
 		return
 	}
@@ -447,6 +470,53 @@ func parseTop(r *http.Request, n int) (int, error) {
 	return top, nil
 }
 
+// parseRefine reads the ?refine=<tol> parameter shared by the query, ppr,
+// and batch endpoints: 0 (or absent) answers through the plain solver,
+// a positive tolerance answers through iterative refinement against the
+// retained exact H until the relative residual falls below it.
+func parseRefine(r *http.Request) (float64, error) {
+	v := r.URL.Query().Get("refine")
+	if v == "" {
+		return 0, nil
+	}
+	tol, err := strconv.ParseFloat(v, 64)
+	if err != nil || math.IsNaN(tol) || math.IsInf(tol, 0) || tol < 0 {
+		return 0, errBadRequest("refine %q must be a finite non-negative tolerance", v)
+	}
+	return tol, nil
+}
+
+// refineGate rejects parameter combinations the refined path cannot serve:
+// refinement verifies against the preprocessed matrices, so pending dynamic
+// updates (answered through the Woodbury correction, which H knows nothing
+// about) require a rebuild first — the same restriction effective
+// importance has.
+func refineGate(e *entry, refine float64) error {
+	if refine > 0 && e.dyn.PendingNodes() > 0 {
+		return errBadRequest("refined queries require a rebuild after updates")
+	}
+	return nil
+}
+
+// refineOne answers one starting distribution through iterative refinement
+// and records the refinement metrics (queries, sweeps, final residual).
+func (s *Server) refineOne(ctx context.Context, e *entry, q []float64, tol float64) ([]float64, bear.RefineStats, error) {
+	dst := make([]float64, len(q))
+	stats, err := e.dyn.Precomputed().QueryRefinedCtx(ctx, dst, q, tol, 0, nil)
+	if err != nil {
+		return nil, stats, err
+	}
+	s.observeRefine(stats)
+	return dst, stats, nil
+}
+
+// refineSolve is refineOne without the stats, shaped for cachedSolve's
+// solve closure; it runs only on cache misses, so hits do not re-count.
+func (s *Server) refineSolve(ctx context.Context, e *entry, q []float64, tol float64) ([]float64, error) {
+	dst, _, err := s.refineOne(ctx, e, q, tol)
+	return dst, err
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	e, ok := s.lookup(name)
@@ -470,6 +540,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errBadRequest("effective importance requires a rebuild after updates"))
 		return
 	}
+	refine, err := parseRefine(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if refine > 0 && useEI {
+		writeError(w, errBadRequest("refine cannot be combined with ei: effective importance has no residual to verify"))
+		return
+	}
+	if err := refineGate(e, refine); err != nil {
+		writeError(w, err)
+		return
+	}
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
 	ctx, tr, debug := s.traceContext(ctx, r)
@@ -477,11 +560,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if useEI {
 		ei = 1
 	}
-	hash := e.hasher("query").Int(seed).Byte(ei).Int(top).Sum()
+	// Keep this key shape in sync with handleBatch's per-seed probe, which
+	// must hit the same entries.
+	hash := e.hasher("query").Int(seed).Byte(ei).Float64(refine).Int(top).Sum()
 	start := time.Now()
 	res, status, err := s.cachedSolve(ctx, e, hash, top, func(ctx context.Context) ([]float64, error) {
 		if useEI {
 			return e.dyn.Precomputed().QueryEffectiveImportanceCtx(ctx, seed)
+		}
+		if refine > 0 {
+			p := e.dyn.Precomputed()
+			if seed < 0 || seed >= p.N {
+				return nil, fmt.Errorf("seed %d out of range [0,%d)", seed, p.N)
+			}
+			q := make([]float64, p.N)
+			q[seed] = 1
+			return s.refineSolve(ctx, e, q, refine)
 		}
 		return e.dyn.QueryCtx(ctx, seed)
 	})
@@ -595,6 +689,15 @@ func (s *Server) handlePPR(w http.ResponseWriter, r *http.Request) {
 	if top > n {
 		top = n
 	}
+	refine, err := parseRefine(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := refineGate(e, refine); err != nil {
+		writeError(w, err)
+		return
+	}
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
 	ctx, tr, debug := s.traceContext(ctx, r)
@@ -606,9 +709,12 @@ func (s *Server) handlePPR(w http.ResponseWriter, r *http.Request) {
 			h = h.Int(node).Float64(weight)
 		}
 	}
-	hash := h.Int(top).Sum()
+	hash := h.Float64(refine).Int(top).Sum()
 	start := time.Now()
 	res, status, err := s.cachedSolve(ctx, e, hash, top, func(ctx context.Context) ([]float64, error) {
+		if refine > 0 {
+			return s.refineSolve(ctx, e, q, refine)
+		}
 		return e.dyn.QueryDistCtx(ctx, q)
 	})
 	if err != nil {
@@ -648,6 +754,9 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errBadRequest("decoding body: %v", err))
 		return
 	}
+	// Mirror the core layer's weight validation (finite and non-negative —
+	// +Inf and NaN poison row normalization into NaN scores) so malformed
+	// updates fail with a clear 400 before touching the graph.
 	var err error
 	switch req.Op {
 	case "add":
@@ -655,10 +764,20 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		if weight == 0 {
 			weight = 1
 		}
+		if weight < 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+			writeError(w, errBadRequest("edge weight %g must be finite and non-negative", weight))
+			return
+		}
 		err = e.dyn.AddEdge(req.U, req.V, weight)
 	case "remove":
 		err = e.dyn.RemoveEdge(req.U, req.V)
 	case "replace":
+		for _, weight := range req.Weights {
+			if weight < 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+				writeError(w, errBadRequest("edge weight %g must be finite and non-negative", weight))
+				return
+			}
+		}
 		err = e.dyn.UpdateNode(req.U, req.Dst, req.Weights)
 	default:
 		writeError(w, errBadRequest("op %q must be add, remove, or replace", req.Op))

@@ -39,6 +39,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		csvDir = fs.String("csv", "", "directory for CSV output (optional)")
 		bars   = fs.Bool("bars", false, "also draw log-scale bar charts like the paper's figures")
 		list   = fs.Bool("list", false, "list experiments and exit")
+
+		baseline = fs.String("baseline", "", "with -exp kernels: regression-gate mode, comparing measured speedups against the baselines in this BENCH_kernels.json (fails on >20% regression)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,6 +54,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	cfg := bench.Config{Scale: *scale, Budget: *budget, QuerySeeds: *seeds, Seed: *seed}
+	if *baseline != "" {
+		if *exp != "kernels" {
+			return fmt.Errorf("-baseline only applies to -exp kernels")
+		}
+		if err := bench.CheckKernels(cfg, *baseline); err != nil {
+			return fmt.Errorf("kernel regression gate: %w", err)
+		}
+		fmt.Fprintf(stdout, "kernel regression gate passed against %s\n", *baseline)
+		return nil
+	}
 	var exps []bench.Experiment
 	if *exp == "all" {
 		exps = bench.Experiments()

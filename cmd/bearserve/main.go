@@ -57,6 +57,7 @@ func main() {
 	cacheTTL := flag.Duration("cache-ttl", 0, "result cache entry lifetime (0 = until evicted; invalidation is by epoch, not TTL)")
 	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof (empty = disabled); keep it off public interfaces")
 	metrics := flag.Bool("metrics", true, "serve Prometheus metrics at GET /metrics")
+	kern := flag.String("kernel", "", "query-kernel layout: auto|csr|hybrid|sell|parallel (default auto picks per matrix)")
 	traceSlow := flag.Duration("trace-slow", 0, "trace every query and log a per-stage breakdown for ones slower than this (0 = off), e.g. -trace-slow=50ms")
 	flag.Var(&graphs, "graph", "name=path of a graph to preprocess at startup (repeatable)")
 	flag.Parse()
@@ -70,6 +71,7 @@ func main() {
 	s.CacheTTL = *cacheTTL
 	s.EnableMetrics = *metrics
 	s.TraceSlow = *traceSlow
+	s.DefaultKernel = *kern
 
 	if *pprofAddr != "" {
 		// A separate listener keeps the profiling surface off the service
@@ -103,7 +105,7 @@ func main() {
 		}
 	}
 
-	opts := bear.Options{C: *c, DropTol: *drop}
+	opts := bear.Options{C: *c, DropTol: *drop, Kernel: *kern}
 	for _, spec := range graphs {
 		name, path, _ := strings.Cut(spec, "=")
 		if err := loadInto(s, name, path, opts); err != nil {

@@ -228,9 +228,10 @@ func TestRunAllSmall(t *testing.T) {
 		t.Fatalf("RunAll: %v", err)
 	}
 	// One table per: table4, fig1a(2), fig1b, fig2, fig6, fig7, fig8,
-	// fig10, fig11, fig12, ablation(3), scaling, amortize, refine.
-	if len(tabs) != 17 {
-		t.Fatalf("RunAll produced %d tables, want 17", len(tabs))
+	// fig10, fig11, fig12, ablation(3), scaling, amortize, refine,
+	// kernels.
+	if len(tabs) != 18 {
+		t.Fatalf("RunAll produced %d tables, want 18", len(tabs))
 	}
 	for _, tab := range tabs {
 		if tab.Title == "" || len(tab.Headers) == 0 || len(tab.Rows) == 0 {

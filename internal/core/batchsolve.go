@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"bear/internal/obsv"
+	"bear/internal/sparse/kernel"
 )
 
 // This file implements the blocked multi-RHS batch solver: Algorithm 2
@@ -218,10 +219,10 @@ func (p *Precomputed) queryChunkTo(ctx context.Context, dst [][]float64, seeds [
 				gb[p.Perm[seeds[cols[k]]]*g+(k-rs)] = 1
 			}
 			gt := bw.s2[:n1*g]
-			p.L1Inv.MulRangeMultiTo(gt, gb, g, lo, hi)
-			p.U1Inv.MulRangeMultiTo(gb, gt, g, lo, hi)
+			p.kern.l1inv.SpMMRange(gt, gb, g, lo, hi, kernel.Exact)
+			p.kern.u1inv.SpMMRange(gb, gt, g, lo, hi, kernel.Exact)
 			gh := bw.ha[:n2*g]
-			p.H21.MulColRangeMultiTo(gh, gb, g, lo, hi)
+			p.kern.h21.SpMMColRange(gh, gb, g, lo, hi, kernel.Exact)
 			for i := 0; i < n2; i++ {
 				copy(h[i*nb+rs:i*nb+re], gh[i*g:(i+1)*g])
 			}
@@ -243,9 +244,9 @@ func (p *Precomputed) queryChunkTo(ctx context.Context, dst [][]float64, seeds [
 			}
 			y, spare = spare, y
 		}
-		p.L2Inv.MulMultiTo(spare, y, nb)
+		p.kern.l2inv.SpMM(spare, y, nb, kernel.Exact)
 		y, spare = spare, y
-		p.U2Inv.MulMultiTo(spare, y, nb)
+		p.kern.u2inv.SpMM(spare, y, nb, kernel.Exact)
 		r2 = spare
 		sw.Stop()
 	}
@@ -258,7 +259,7 @@ func (p *Precomputed) queryChunkTo(ctx context.Context, dst [][]float64, seeds [
 	// r₁ = U₁⁻¹ L₁⁻¹ (b₁ − H₁₂ r₂).
 	z := bw.s1[:n1*nb]
 	if n2 > 0 {
-		p.H12.MulMultiTo(z, r2, nb)
+		p.kern.h12.SpMM(z, r2, nb, kernel.Exact)
 	} else {
 		for i := range z {
 			z[i] = 0
@@ -268,8 +269,8 @@ func (p *Precomputed) queryChunkTo(ctx context.Context, dst [][]float64, seeds [
 		z[i] = b1[i] - z[i]
 	}
 	s2 := bw.s2[:n1*nb]
-	p.L1Inv.MulMultiTo(s2, z, nb)
-	p.U1Inv.MulMultiTo(z, s2, nb)
+	p.kern.l1inv.SpMM(s2, z, nb, kernel.Exact)
+	p.kern.u1inv.SpMM(z, s2, nb, kernel.Exact)
 	r1 := z
 
 	// Scatter each column back to graph node order and apply the restart

@@ -25,6 +25,7 @@ import (
 	"bear/internal/obsv"
 	"bear/internal/slashburn"
 	"bear/internal/sparse"
+	"bear/internal/sparse/kernel"
 )
 
 // Default parameter values, matching the paper's experimental settings.
@@ -72,6 +73,14 @@ type Options struct {
 	// extra copy of |H| ≈ |E| nonzeros in memory and in the precompute
 	// file.
 	KeepH bool
+	// Kernel selects the query-time kernel layout (internal/sparse/kernel):
+	// "" or "auto" picks per matrix (the dense-run hybrid for
+	// block-diagonal spoke factors, baseline CSR otherwise); "csr",
+	// "hybrid", "sell" force one layout everywhere; "parallel" adds
+	// row-partitioned multi-worker SpMV/SpMM on large matrices. Every
+	// setting is bit-identical on the query path (Exact-mode contract);
+	// only speed differs.
+	Kernel string
 }
 
 func (o Options) withDefaults() Options {
@@ -149,6 +158,16 @@ type Precomputed struct {
 	// batchPool recycles multi-RHS batch workspaces; see
 	// AcquireBatchWorkspace.
 	batchPool sync.Pool
+
+	// kern holds the kernel-layer views of the factor matrices through
+	// which every query-time product runs; layouts are chosen by
+	// initKernels at Preprocess/Load time. Derived, never serialized.
+	kern struct {
+		l1inv, u1inv kernel.Matrix
+		h12, h21     kernel.Matrix
+		l2inv, u2inv kernel.Matrix
+		h            kernel.Matrix // nil unless H was retained
+	}
 }
 
 // initDerived fills the fields computed from the serialized ones; it must
@@ -158,6 +177,45 @@ func (p *Precomputed) initDerived() {
 	for i, sz := range p.Blocks {
 		p.BlockOffsets[i+1] = p.BlockOffsets[i] + sz
 	}
+}
+
+// initKernels builds the kernel-layer views of the factor matrices; it
+// must run after the factor fields are final (both Preprocess and Load
+// call it). An empty spec selects the per-matrix auto heuristic.
+func (p *Precomputed) initKernels(spec string) error {
+	cfg, err := kernel.ParseConfig(spec)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	p.kern.l1inv = kernel.New(p.L1Inv, cfg)
+	p.kern.u1inv = kernel.New(p.U1Inv, cfg)
+	p.kern.h12 = kernel.New(p.H12, cfg)
+	p.kern.h21 = kernel.New(p.H21, cfg)
+	p.kern.l2inv = kernel.New(p.L2Inv, cfg)
+	p.kern.u2inv = kernel.New(p.U2Inv, cfg)
+	p.kern.h = nil
+	if p.H != nil {
+		p.kern.h = kernel.New(p.H, cfg)
+	}
+	return nil
+}
+
+// KernelLayouts reports the layout chosen for each factor matrix, keyed
+// by the factor's Algorithm 1 name — observability for the auto
+// heuristic and the -kernel override.
+func (p *Precomputed) KernelLayouts() map[string]string {
+	out := map[string]string{
+		"l1inv": p.kern.l1inv.Layout(),
+		"u1inv": p.kern.u1inv.Layout(),
+		"h12":   p.kern.h12.Layout(),
+		"h21":   p.kern.h21.Layout(),
+		"l2inv": p.kern.l2inv.Layout(),
+		"u2inv": p.kern.u2inv.Layout(),
+	}
+	if p.kern.h != nil {
+		out["h"] = p.kern.h.Layout()
+	}
+	return out
 }
 
 // PreprocessCtx is Preprocess with cooperative cancellation and per-stage
@@ -197,6 +255,10 @@ func preprocessCtx(ctx context.Context, g *graph.Graph, opts Options) (*Precompu
 	}
 	if opts.DropTol < 0 {
 		return nil, fmt.Errorf("core: negative drop tolerance %g", opts.DropTol)
+	}
+	// Reject a bad kernel spec before minutes of preprocessing, not after.
+	if _, err := kernel.ParseConfig(opts.Kernel); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	n := g.N()
 	if n == 0 {
@@ -360,6 +422,9 @@ func preprocessCtx(ctx context.Context, g *graph.Graph, opts Options) (*Precompu
 	p.SPerm = sperm
 	p.OutDegree = weightedOutDegrees(g)
 	p.initDerived()
+	if err := p.initKernels(opts.Kernel); err != nil {
+		return nil, err
+	}
 	p.Stats = Stats{
 		N: n, M: g.M(), N1: p.N1, N2: p.N2,
 		NumBlocks:      len(sb.Blocks),

@@ -7,7 +7,7 @@ import (
 	"math"
 
 	"bear/internal/obsv"
-	"bear/internal/sparse"
+	"bear/internal/sparse/kernel"
 )
 
 // This file implements the accuracy guardrail for BEAR-Approx: residual
@@ -99,7 +99,7 @@ func (p *Precomputed) Residual(x, q []float64) (float64, error) {
 	for node, v := range x {
 		ws.rz[p.Perm[node]] = v
 	}
-	sparse.ResidualTo(ws.rr, ws.rq, p.H, ws.rz)
+	p.kern.h.Residual(ws.rr, ws.rq, ws.rz, kernel.Exact)
 	return infNorm(ws.rr), nil
 }
 
@@ -158,7 +158,7 @@ func (p *Precomputed) SolveRefinedCtx(ctx context.Context, dst, b []float64, tol
 		for node, v := range dst {
 			zp[p.Perm[node]] = v
 		}
-		sparse.ResidualTo(ws.rr, qp, p.H, zp)
+		p.kern.h.Residual(ws.rr, qp, zp, kernel.Exact)
 		res := infNorm(ws.rr)
 		sw.Stop()
 		stats.Residual = res

@@ -118,6 +118,11 @@ func decodePayload(d *decoder, withH bool) (*Precomputed, error) {
 		return nil, err
 	}
 	p.initDerived()
+	// Loaded factors get the auto layout heuristic; the precompute format
+	// stores no kernel preference (layouts are a runtime choice).
+	if err := p.initKernels(""); err != nil {
+		return nil, err
+	}
 	return p, nil
 }
 

@@ -90,6 +90,58 @@ func BenchmarkSparseLU(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveLower / BenchmarkSolveUpper guard the dense-RHS triangular
+// substitution kernels (the per-query inner loops of LU-based solves).
+func BenchmarkSolveLower(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1000, 5000} {
+		a := randomDiagDominant(rng, n, 6.0/float64(n))
+		f, err := LU(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		x := make([]float64, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportMetric(float64(f.L.NNZ()), "nnz")
+			for i := 0; i < b.N; i++ {
+				copy(x, rhs)
+				if err := SolveLower(f.L, x, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSolveUpper(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{1000, 5000} {
+		a := randomDiagDominant(rng, n, 6.0/float64(n))
+		f, err := LU(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		x := make([]float64, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportMetric(float64(f.U.NNZ()), "nnz")
+			for i := 0; i < b.N; i++ {
+				copy(x, rhs)
+				if err := SolveUpper(f.U, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkTriangularInverse(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	for _, n := range []int{500, 1000} {

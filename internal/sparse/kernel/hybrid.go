@@ -1,0 +1,143 @@
+package kernel
+
+import (
+	"math"
+
+	"bear/internal/sparse"
+)
+
+// Hybrid is the dense-run CSR layout. A row whose stored columns form one
+// contiguous run [c, c+len) — true for most rows of BEAR's block-diagonal
+// spoke factors L1⁻¹/U1⁻¹, where a row's support is its own dense-ish
+// block — is multiplied as an index-free dense dot against x[c:], so the
+// inner loop streams two float64 arrays instead of chasing column
+// indices. Rows without a single run fall back to an int32-indexed gather
+// (half the index bytes of the int64 baseline).
+//
+// Per-row accumulation order is ascending stored-column order in both
+// paths — exactly the baseline CSR order — so every mode is bit-identical
+// to Exact.
+type Hybrid struct {
+	src      *sparse.CSR // retained for SpMM and column-windowed delegates
+	col      []int32     // all column indices, narrowed
+	runStart []int32     // per row: first column of the row's single run, or -1
+	denseRun int         // rows stored index-free (for the selection heuristic)
+}
+
+// NewHybrid builds the dense-run layout over m, aliasing m's Val/RowPtr
+// and copying column indices into int32. Returns nil when m's column
+// count cannot be narrowed to int32; callers fall back to CSR.
+func NewHybrid(m *sparse.CSR) *Hybrid {
+	if m.C > math.MaxInt32 {
+		return nil
+	}
+	h := &Hybrid{
+		src:      m,
+		col:      make([]int32, len(m.ColIdx)),
+		runStart: make([]int32, m.R),
+	}
+	for k, c := range m.ColIdx {
+		h.col[k] = int32(c)
+	}
+	for i := 0; i < m.R; i++ {
+		ks, ke := m.RowPtr[i], m.RowPtr[i+1]
+		if ke > ks && m.ColIdx[ke-1]-m.ColIdx[ks] == ke-ks-1 {
+			h.runStart[i] = int32(m.ColIdx[ks])
+			h.denseRun++
+		} else {
+			h.runStart[i] = -1
+		}
+	}
+	return h
+}
+
+// DenseRunFraction reports the share of rows stored index-free.
+func (h *Hybrid) DenseRunFraction() float64 {
+	if h.src.R == 0 {
+		return 0
+	}
+	return float64(h.denseRun) / float64(h.src.R)
+}
+
+func (h *Hybrid) Dims() (int, int) { return h.src.R, h.src.C }
+func (h *Hybrid) NNZ() int         { return h.src.NNZ() }
+func (h *Hybrid) Layout() string   { return layoutHybrid }
+
+func (h *Hybrid) spmvRows(y, x []float64, lo, hi int) {
+	m := h.src
+	for i := lo; i < hi; i++ {
+		ks, ke := m.RowPtr[i], m.RowPtr[i+1]
+		vs := m.Val[ks:ke]
+		var acc float64
+		if st := h.runStart[i]; st >= 0 {
+			xs := x[st:]
+			xs = xs[:len(vs):len(vs)]
+			for j, v := range vs {
+				acc += v * xs[j]
+			}
+		} else {
+			cs := h.col[ks:ke:ke]
+			for j, v := range vs {
+				acc += v * x[cs[j]]
+			}
+		}
+		y[i] = acc
+	}
+}
+
+func (h *Hybrid) SpMV(y, x []float64, mode Mode) {
+	statSpMV(layoutHybrid)
+	h.spmvRows(y, x, 0, h.src.R)
+}
+
+func (h *Hybrid) SpMVRange(y, x []float64, lo, hi int, mode Mode) {
+	statSpMV(layoutHybrid)
+	h.spmvRows(y, x, lo, hi)
+}
+
+func (h *Hybrid) SpMVColRange(y, x []float64, lo, hi int, mode Mode) {
+	statSpMV(layoutHybrid)
+	// Column windows binary-search the original index array; the dense-run
+	// trick buys nothing there.
+	h.src.MulVecColRangeTo(y, x, lo, hi)
+}
+
+func (h *Hybrid) SpMM(y, x []float64, nb int, mode Mode) {
+	statSpMM(layoutHybrid)
+	// The multi-RHS kernels are register-tiled over the RHS block and
+	// already amortize index loads across nb columns; delegate.
+	h.src.MulMultiTo(y, x, nb)
+}
+
+func (h *Hybrid) SpMMRange(y, x []float64, nb, lo, hi int, mode Mode) {
+	statSpMM(layoutHybrid)
+	h.src.MulRangeMultiTo(y, x, nb, lo, hi)
+}
+
+func (h *Hybrid) SpMMColRange(y, x []float64, nb, lo, hi int, mode Mode) {
+	statSpMM(layoutHybrid)
+	h.src.MulColRangeMultiTo(y, x, nb, lo, hi)
+}
+
+func (h *Hybrid) Residual(r, q, x []float64, mode Mode) {
+	statSpMV(layoutHybrid)
+	m := h.src
+	for i := 0; i < m.R; i++ {
+		ks, ke := m.RowPtr[i], m.RowPtr[i+1]
+		vs := m.Val[ks:ke]
+		var acc float64
+		if st := h.runStart[i]; st >= 0 {
+			xs := x[st:]
+			xs = xs[:len(vs):len(vs)]
+			for j, v := range vs {
+				acc += v * xs[j]
+			}
+		} else {
+			cs := h.col[ks:ke:ke]
+			for j, v := range vs {
+				acc += v * x[cs[j]]
+			}
+		}
+		r[i] = q[i] - acc
+	}
+}

@@ -1,0 +1,133 @@
+// Package kernel provides the primitives layer for BEAR's query-time
+// linear algebra: one Matrix interface (SpMV, SpMM, ranged and
+// column-ranged variants, fused residual) over pluggable cache-aware
+// storage layouts, in the spirit of the GraphBLAS primitives consolidation
+// (Kepner et al.).
+//
+// # Layouts
+//
+//   - csr: the baseline — delegates to the tuned CSR kernels in package
+//     sparse. Every other layout is verified against it.
+//   - hybrid: dense-run CSR. Rows whose stored columns form one contiguous
+//     run (the common case in BEAR's block-diagonal spoke factors, where a
+//     row's support is its own block) are stored index-free and multiplied
+//     as a dense dot against a window of x; remaining rows keep int32
+//     column indices. Halves the index traffic on run-heavy matrices.
+//   - sell: SELL-C-σ (sliced ELLPACK, C=8, σ=C). Rows are processed in
+//     slices of 8, sorted by length within the slice, entries stored
+//     column-position-major so the 8 accumulators advance in lockstep.
+//   - parallel: a wrapper over any layout that row-partitions SpMV/SpMM
+//     across the shared persistent worker pool with nnz-balanced cuts.
+//
+// # Determinism contract
+//
+// Exact mode guarantees results bit-identical to the baseline CSR kernels:
+// every layout accumulates each output row in the same order as
+// sparse.(*CSR).MulVecTo (ascending stored-column order), and the parallel
+// wrapper assigns each row to exactly one partition whose boundaries
+// depend only on the matrix and the worker count — never on scheduling.
+// Reassoc mode permits a fixed, deterministic reassociation (a 4-way
+// strided unroll combined as (a0+a1)+(a2+a3), then a serial tail): results
+// are still run-to-run identical, but may differ from Exact in the last
+// few ulps. Layouts for which no profitable reassociated variant exists
+// serve Reassoc with their Exact kernel, which trivially satisfies the
+// weaker contract.
+package kernel
+
+import "sync/atomic"
+
+// Mode selects the accumulation contract for a kernel call.
+type Mode int
+
+const (
+	// Exact requires bit-identical results to the baseline CSR kernels.
+	Exact Mode = iota
+	// Reassoc permits deterministic reassociation of row accumulations;
+	// results may differ from Exact by rounding (≤1e-12 relative error on
+	// well-scaled inputs) but are identical across runs and worker counts.
+	Reassoc
+)
+
+func (m Mode) String() string {
+	if m == Reassoc {
+		return "reassoc"
+	}
+	return "exact"
+}
+
+// Matrix is the kernel-layer view of a sparse matrix. y/r are fully
+// overwritten outside the documented row window; x is never modified.
+// Multi-vector (SpMM) operands are node-contiguous: x[col*nb+t] holds
+// column t of logical row col, matching sparse.(*CSR).MulMultiTo.
+type Matrix interface {
+	// Dims returns the logical (rows, cols) shape.
+	Dims() (r, c int)
+	// NNZ returns the stored entry count.
+	NNZ() int
+	// Layout names the storage layout ("csr", "hybrid", "sell", "parallel").
+	Layout() string
+
+	// SpMV computes y = M·x. len(y) = rows, len(x) = cols.
+	SpMV(y, x []float64, mode Mode)
+	// SpMVRange computes rows [lo, hi) of M·x into y[lo:hi]; other rows of
+	// y are left untouched.
+	SpMVRange(y, x []float64, lo, hi int, mode Mode)
+	// SpMVColRange computes y = M[:, lo:hi]·x using only stored columns in
+	// [lo, hi); x entries outside the window are ignored. All rows of y
+	// are written.
+	SpMVColRange(y, x []float64, lo, hi int, mode Mode)
+
+	// SpMM computes Y = M·X for nb node-contiguous right-hand sides.
+	SpMM(y, x []float64, nb int, mode Mode)
+	// SpMMRange computes rows [lo, hi) of M·X.
+	SpMMRange(y, x []float64, nb, lo, hi int, mode Mode)
+	// SpMMColRange computes Y = M[:, lo:hi]·X over stored columns in
+	// [lo, hi) only.
+	SpMMColRange(y, x []float64, nb, lo, hi int, mode Mode)
+
+	// Residual computes r = q − M·x fused in one pass. r may alias q but
+	// not x.
+	Residual(r, q, x []float64, mode Mode)
+}
+
+// Layout/parallel-path selection and call counters, exposed for the
+// server's bear_kernel_* metrics. All counters are monotone and safe for
+// concurrent use.
+type layoutStats struct {
+	selected atomic.Uint64 // matrices constructed with this layout
+	spmv     atomic.Uint64 // SpMV-family calls (incl. ranged variants)
+	spmm     atomic.Uint64 // SpMM-family calls (incl. ranged variants)
+}
+
+const (
+	layoutCSR      = "csr"
+	layoutHybrid   = "hybrid"
+	layoutSELL     = "sell"
+	layoutParallel = "parallel"
+)
+
+var stats = map[string]*layoutStats{
+	layoutCSR:      new(layoutStats),
+	layoutHybrid:   new(layoutStats),
+	layoutSELL:     new(layoutStats),
+	layoutParallel: new(layoutStats),
+}
+
+// Layouts lists every layout name that Stats reports, in display order.
+func Layouts() []string {
+	return []string{layoutCSR, layoutHybrid, layoutSELL, layoutParallel}
+}
+
+// Stats returns the cumulative selection and call counters for a layout.
+// Unknown layouts report zeros.
+func Stats(layout string) (selected, spmv, spmm uint64) {
+	s, ok := stats[layout]
+	if !ok {
+		return 0, 0, 0
+	}
+	return s.selected.Load(), s.spmv.Load(), s.spmm.Load()
+}
+
+func statSelected(layout string) { stats[layout].selected.Add(1) }
+func statSpMV(layout string)     { stats[layout].spmv.Add(1) }
+func statSpMM(layout string)     { stats[layout].spmm.Add(1) }

@@ -1,0 +1,96 @@
+package kernel
+
+import (
+	"runtime"
+
+	"bear/internal/sparse"
+)
+
+// minParallelNNZ is the stored-entry count below which wrapping a matrix
+// in Parallel is refused by the selection logic: a pool handoff costs on
+// the order of a few microseconds, which a small SpMV cannot amortize.
+const minParallelNNZ = 1 << 15
+
+// Parallel row-partitions SpMV/SpMM over the shared persistent worker
+// pool. Partition boundaries are nnz-balanced cuts computed once at
+// construction from the matrix and the worker count — each output row
+// belongs to exactly one partition regardless of scheduling, and within a
+// partition the wrapped layout runs unchanged, so Exact mode stays
+// bit-identical for any worker count.
+//
+// Column-windowed kernels and Residual run sequentially on the wrapped
+// layout: BEAR only calls them on small windows or with dependencies that
+// do not row-partition.
+type Parallel struct {
+	inner Matrix
+	cuts  []int
+}
+
+// NewParallel wraps inner (stored as m) with row partitions for workers
+// parallel lanes (<= 0 selects GOMAXPROCS).
+func NewParallel(inner Matrix, m *sparse.CSR, workers int) *Parallel {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m.R && m.R > 0 {
+		workers = m.R
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &Parallel{inner: inner, cuts: sparse.SplitNNZ(m.RowPtr, workers)}
+}
+
+// Inner returns the wrapped layout.
+func (p *Parallel) Inner() Matrix { return p.inner }
+
+func (p *Parallel) Dims() (int, int) { return p.inner.Dims() }
+func (p *Parallel) NNZ() int         { return p.inner.NNZ() }
+func (p *Parallel) Layout() string   { return layoutParallel }
+
+func (p *Parallel) SpMV(y, x []float64, mode Mode) {
+	statSpMV(layoutParallel)
+	parts := len(p.cuts) - 1
+	sparse.DefaultPool().Run(parts, func(w int) {
+		if p.cuts[w] < p.cuts[w+1] {
+			p.inner.SpMVRange(y, x, p.cuts[w], p.cuts[w+1], mode)
+		}
+	})
+}
+
+func (p *Parallel) SpMVRange(y, x []float64, lo, hi int, mode Mode) {
+	statSpMV(layoutParallel)
+	// Ranged calls target single spoke blocks on the fast path — too small
+	// to fan out again.
+	p.inner.SpMVRange(y, x, lo, hi, mode)
+}
+
+func (p *Parallel) SpMVColRange(y, x []float64, lo, hi int, mode Mode) {
+	statSpMV(layoutParallel)
+	p.inner.SpMVColRange(y, x, lo, hi, mode)
+}
+
+func (p *Parallel) SpMM(y, x []float64, nb int, mode Mode) {
+	statSpMM(layoutParallel)
+	parts := len(p.cuts) - 1
+	sparse.DefaultPool().Run(parts, func(w int) {
+		if p.cuts[w] < p.cuts[w+1] {
+			p.inner.SpMMRange(y, x, nb, p.cuts[w], p.cuts[w+1], mode)
+		}
+	})
+}
+
+func (p *Parallel) SpMMRange(y, x []float64, nb, lo, hi int, mode Mode) {
+	statSpMM(layoutParallel)
+	p.inner.SpMMRange(y, x, nb, lo, hi, mode)
+}
+
+func (p *Parallel) SpMMColRange(y, x []float64, nb, lo, hi int, mode Mode) {
+	statSpMM(layoutParallel)
+	p.inner.SpMMColRange(y, x, nb, lo, hi, mode)
+}
+
+func (p *Parallel) Residual(r, q, x []float64, mode Mode) {
+	statSpMV(layoutParallel)
+	p.inner.Residual(r, q, x, mode)
+}

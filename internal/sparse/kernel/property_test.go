@@ -1,0 +1,287 @@
+package kernel_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"bear/internal/sparse"
+	"bear/internal/sparse/kernel"
+)
+
+func randCSR(rng *rand.Rand, r, c int, density float64) *sparse.CSR {
+	var coords []sparse.Coord
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if rng.Float64() < density {
+				coords = append(coords, sparse.Coord{Row: i, Col: j, Val: rng.NormFloat64()})
+			}
+		}
+	}
+	return sparse.NewCSR(r, c, coords)
+}
+
+// blockDiagCSR emits a block-diagonal matrix with dense-ish blocks — the
+// spoke-factor shape where the hybrid layout's dense-run path dominates.
+func blockDiagCSR(rng *rand.Rand, blocks []int, fill float64) *sparse.CSR {
+	var coords []sparse.Coord
+	off := 0
+	for _, b := range blocks {
+		for i := 0; i < b; i++ {
+			for j := 0; j < b; j++ {
+				if i == j || rng.Float64() < fill {
+					coords = append(coords, sparse.Coord{Row: off + i, Col: off + j, Val: rng.NormFloat64()})
+				}
+			}
+		}
+		off += b
+	}
+	return sparse.NewCSR(off, off, coords)
+}
+
+type layoutCase struct {
+	name  string
+	build func(m *sparse.CSR) kernel.Matrix
+}
+
+// layoutCases enumerates every layout × worker-count combination the
+// property tests cover: all storage layouts sequentially, and each
+// wrapped in the parallel row-partitioner at 1, 3 and GOMAXPROCS lanes.
+func layoutCases(t testing.TB) []layoutCase {
+	cases := []layoutCase{
+		{"csr", func(m *sparse.CSR) kernel.Matrix { return kernel.NewCSR(m) }},
+		{"hybrid", func(m *sparse.CSR) kernel.Matrix {
+			h := kernel.NewHybrid(m)
+			if h == nil {
+				t.Fatal("NewHybrid returned nil for an int32-narrowable matrix")
+			}
+			return h
+		}},
+		{"sell", func(m *sparse.CSR) kernel.Matrix {
+			s := kernel.NewSELL(m)
+			if s == nil {
+				t.Fatal("NewSELL returned nil for an int32-narrowable matrix")
+			}
+			return s
+		}},
+	}
+	for _, workers := range []int{1, 3, runtime.GOMAXPROCS(0)} {
+		workers := workers
+		for _, base := range cases[:3] {
+			base := base
+			cases = append(cases, layoutCase{
+				name: fmt.Sprintf("parallel(%s,w=%d)", base.name, workers),
+				build: func(m *sparse.CSR) kernel.Matrix {
+					return kernel.NewParallel(base.build(m), m, workers)
+				},
+			})
+		}
+	}
+	return cases
+}
+
+func relErr(got, want float64) float64 {
+	d := math.Abs(got - want)
+	if d == 0 {
+		return 0
+	}
+	scale := math.Abs(want)
+	if scale < 1 {
+		scale = 1
+	}
+	return d / scale
+}
+
+// checkVec compares a kernel result against the baseline: bit-identical
+// in Exact mode, ≤1e-12 relative error in Reassoc mode.
+func checkVec(t *testing.T, what string, mode kernel.Mode, got, want []float64) {
+	t.Helper()
+	for i := range want {
+		if mode == kernel.Exact {
+			if got[i] != want[i] && !(math.IsNaN(got[i]) && math.IsNaN(want[i])) {
+				t.Fatalf("%s [%s]: y[%d] = %v, baseline %v (must be bit-identical)", what, mode, i, got[i], want[i])
+			}
+		} else if e := relErr(got[i], want[i]); e > 1e-12 {
+			t.Fatalf("%s [%s]: y[%d] = %v, baseline %v, rel err %g > 1e-12", what, mode, i, got[i], want[i], e)
+		}
+	}
+}
+
+func fixtures(rng *rand.Rand) map[string]*sparse.CSR {
+	return map[string]*sparse.CSR{
+		"random-sparse":  randCSR(rng, 97, 97, 0.06),
+		"random-dense":   randCSR(rng, 40, 40, 0.45),
+		"rect-wide":      randCSR(rng, 31, 120, 0.1),
+		"rect-tall":      randCSR(rng, 120, 31, 0.1),
+		"block-diagonal": blockDiagCSR(rng, []int{17, 9, 30, 1, 24}, 0.7),
+		"empty-rows":     sparse.NewCSR(50, 50, []sparse.Coord{{Row: 3, Col: 7, Val: 2}, {Row: 48, Col: 0, Val: -1}}),
+		"empty":          sparse.NewCSR(8, 8, nil),
+	}
+}
+
+// TestKernelLayoutsMatchBaseline is the satellite property test: random
+// graphs × every layout × {1, 3, GOMAXPROCS} workers, asserting
+// bit-identical results vs baseline CSR in Exact mode and ≤1e-12 relative
+// error in Reassoc mode, for every primitive in the Matrix interface.
+// CI runs this under -race, which also exercises the pool partitioning.
+func TestKernelLayoutsMatchBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for mname, m := range fixtures(rng) {
+		x := make([]float64, m.C)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		q := make([]float64, m.R)
+		for i := range q {
+			q[i] = rng.NormFloat64()
+		}
+		const nb = 3
+		xm := make([]float64, m.C*nb)
+		for i := range xm {
+			xm[i] = rng.NormFloat64()
+		}
+		rowWins := [][2]int{{0, m.R}, {m.R / 3, 2 * m.R / 3}, {m.R / 2, m.R / 2}}
+		colWins := [][2]int{{0, m.C}, {m.C / 4, 3 * m.C / 4}}
+
+		// Baselines straight from the sparse package.
+		wantVec := make([]float64, m.R)
+		m.MulVecTo(wantVec, x)
+		wantRes := make([]float64, m.R)
+		sparse.ResidualTo(wantRes, q, m, x)
+		wantMM := make([]float64, m.R*nb)
+		m.MulMultiTo(wantMM, xm, nb)
+
+		for _, lc := range layoutCases(t) {
+			k := lc.build(m)
+			if r, c := k.Dims(); r != m.R || c != m.C {
+				t.Fatalf("%s/%s: Dims = %dx%d, want %dx%d", mname, lc.name, r, c, m.R, m.C)
+			}
+			if k.NNZ() != m.NNZ() {
+				t.Fatalf("%s/%s: NNZ = %d, want %d", mname, lc.name, k.NNZ(), m.NNZ())
+			}
+			for _, mode := range []kernel.Mode{kernel.Exact, kernel.Reassoc} {
+				tag := fmt.Sprintf("%s/%s", mname, lc.name)
+
+				y := make([]float64, m.R)
+				k.SpMV(y, x, mode)
+				checkVec(t, tag+"/SpMV", mode, y, wantVec)
+				// Determinism: a second call must reproduce the first bit
+				// for bit, in either mode.
+				y2 := make([]float64, m.R)
+				k.SpMV(y2, x, mode)
+				checkVec(t, tag+"/SpMV-repeat", kernel.Exact, y2, y)
+
+				for _, w := range rowWins {
+					lo, hi := w[0], w[1]
+					want := make([]float64, m.R)
+					m.MulVecRangeTo(want, x, lo, hi)
+					got := make([]float64, m.R)
+					k.SpMVRange(got, x, lo, hi, mode)
+					checkVec(t, fmt.Sprintf("%s/SpMVRange[%d:%d]", tag, lo, hi), mode, got[lo:hi], want[lo:hi])
+				}
+				for _, w := range colWins {
+					lo, hi := w[0], w[1]
+					want := make([]float64, m.R)
+					m.MulVecColRangeTo(want, x, lo, hi)
+					got := make([]float64, m.R)
+					k.SpMVColRange(got, x, lo, hi, mode)
+					checkVec(t, fmt.Sprintf("%s/SpMVColRange[%d:%d]", tag, lo, hi), mode, got, want)
+				}
+
+				ym := make([]float64, m.R*nb)
+				k.SpMM(ym, xm, nb, mode)
+				checkVec(t, tag+"/SpMM", mode, ym, wantMM)
+				for _, w := range rowWins {
+					lo, hi := w[0], w[1]
+					want := make([]float64, m.R*nb)
+					m.MulRangeMultiTo(want, xm, nb, lo, hi)
+					got := make([]float64, m.R*nb)
+					k.SpMMRange(got, xm, nb, lo, hi, mode)
+					checkVec(t, fmt.Sprintf("%s/SpMMRange[%d:%d]", tag, lo, hi), mode, got[lo*nb:hi*nb], want[lo*nb:hi*nb])
+				}
+				for _, w := range colWins {
+					lo, hi := w[0], w[1]
+					want := make([]float64, m.R*nb)
+					m.MulColRangeMultiTo(want, xm, nb, lo, hi)
+					got := make([]float64, m.R*nb)
+					k.SpMMColRange(got, xm, nb, lo, hi, mode)
+					checkVec(t, fmt.Sprintf("%s/SpMMColRange[%d:%d]", tag, lo, hi), mode, got, want)
+				}
+
+				if m.R == m.C {
+					res := make([]float64, m.R)
+					k.Residual(res, q, x, mode)
+					checkVec(t, tag+"/Residual", mode, res, wantRes)
+				}
+			}
+		}
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	for spec, want := range map[string]kernel.Config{
+		"":         {},
+		"auto":     {},
+		"csr":      {Layout: kernel.ForceCSR},
+		"hybrid":   {Layout: kernel.ForceHybrid},
+		"sell":     {Layout: kernel.ForceSELL},
+		"parallel": {Workers: -1},
+	} {
+		got, err := kernel.ParseConfig(spec)
+		if err != nil {
+			t.Fatalf("ParseConfig(%q): %v", spec, err)
+		}
+		if got != want {
+			t.Fatalf("ParseConfig(%q) = %+v, want %+v", spec, got, want)
+		}
+	}
+	if _, err := kernel.ParseConfig("blocked-nonsense"); err == nil {
+		t.Fatal("ParseConfig accepted an unknown spec")
+	}
+}
+
+// TestAutoSelection pins the heuristic: near-diagonal matrices (mean ≤ 2
+// entries per row, where SELL measures ~1.5× over CSR) pick SELL, denser
+// ones stay on CSR, small matrices never pay layout construction, and
+// the parallel wrapper engages only past the nnz floor.
+func TestAutoSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// Near-diagonal: 1–2 entries per row, the spoke-factor shape of
+	// periphery-heavy graphs.
+	nearDiag := blockDiagCSR(rng, func() []int {
+		blocks := make([]int, 300)
+		for i := range blocks {
+			blocks[i] = 1 + i%2
+		}
+		return blocks
+	}(), 1)
+	if got := kernel.New(nearDiag, kernel.Config{}).Layout(); got != "sell" {
+		t.Fatalf("near-diagonal auto layout = %s, want sell", got)
+	}
+	// Dense blocks: ~40 entries per row — CSR stays.
+	spoke := blockDiagCSR(rng, []int{40, 40, 40}, 1)
+	if got := kernel.New(spoke, kernel.Config{}).Layout(); got != "csr" {
+		t.Fatalf("dense-block auto layout = %s, want csr", got)
+	}
+	tiny := sparse.Identity(40)
+	if got := kernel.New(tiny, kernel.Config{}).Layout(); got != "csr" {
+		t.Fatalf("tiny auto layout = %s, want csr", got)
+	}
+	if got := kernel.New(spoke, kernel.Config{Layout: kernel.ForceHybrid}).Layout(); got != "hybrid" {
+		t.Fatalf("forced layout = %s, want hybrid", got)
+	}
+	// spoke has ~4.8k entries — under the parallel floor, so no wrapper
+	// even with workers requested.
+	if got := kernel.New(spoke, kernel.Config{Workers: 4}).Layout(); got == "parallel" {
+		t.Fatal("parallel wrapper engaged below the nnz floor")
+	}
+	big := randCSR(rng, 600, 600, 0.12)
+	if big.NNZ() < 1<<15 {
+		t.Fatalf("fixture under the parallel floor: nnz=%d", big.NNZ())
+	}
+	if got := kernel.New(big, kernel.Config{Workers: 4}).Layout(); got != "parallel" {
+		t.Fatalf("large matrix with workers=4 layout = %s, want parallel", got)
+	}
+}

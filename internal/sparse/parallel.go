@@ -13,16 +13,17 @@ import (
 // per-worker accumulator allocations cost more than the multiply itself.
 const parallelMulMinWork = 1 << 15
 
-// ParallelMul computes C = A B like Mul, fanning row blocks of A out over
-// workers goroutines (0 selects GOMAXPROCS). The result is bit-identical
-// to Mul: each output row is produced by exactly one worker with the same
-// per-row arithmetic order.
+// ParallelMul computes C = A B like Mul, fanning row ranges of A out over
+// the shared worker pool (workers 0 selects GOMAXPROCS). The result is
+// bit-identical to Mul for any workers value: each output row is produced
+// by exactly one range with the same per-row arithmetic order, and the
+// range boundaries depend only on (a, workers), never on scheduling.
 //
-// Row ranges are split evenly (⌈R/w⌉ vs ⌊R/w⌋, never an empty range), and
-// products whose estimated work — a.NNZ() times the average row density of
-// b — falls below a minimum threshold fall back to the sequential Mul, so
-// skinny matrices never pay goroutine and scratch setup they cannot
-// amortize.
+// Row ranges are cut by SplitNNZ so each range carries a similar share of
+// A's stored entries, and products whose estimated work — a.NNZ() times
+// the average row density of b — falls below a minimum threshold fall back
+// to the sequential Mul, so skinny matrices never pay scratch setup they
+// cannot amortize.
 func ParallelMul(a, b *CSR, workers int) *CSR {
 	if a.C != b.R {
 		panic(fmt.Sprintf("sparse: Mul shape mismatch %dx%d * %dx%d", a.R, a.C, b.R, b.C))
@@ -53,50 +54,44 @@ func ParallelMul(a, b *CSR, workers int) *CSR {
 		val    []float64
 		rowLen []int
 	}
+	cuts := SplitNNZ(a.RowPtr, workers)
 	ranges := make([]rowRange, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		// Balanced split: every range gets ⌊R/w⌋ or ⌈R/w⌉ rows, and since
-		// workers ≤ R no range is ever empty — each spawned goroutine has
-		// real work.
-		lo := w * a.R / workers
-		hi := (w + 1) * a.R / workers
-		ranges[w] = rowRange{lo: lo, hi: hi}
-		wg.Add(1)
-		go func(rr *rowRange) {
-			defer wg.Done()
-			acc := make([]float64, b.C)
-			mark := make([]int, b.C)
-			for i := range mark {
-				mark[i] = -1
-			}
-			var rowCols []int
-			rr.rowLen = make([]int, rr.hi-rr.lo)
-			for i := rr.lo; i < rr.hi; i++ {
-				rowCols = rowCols[:0]
-				for ka := a.RowPtr[i]; ka < a.RowPtr[i+1]; ka++ {
-					j := a.ColIdx[ka]
-					av := a.Val[ka]
-					for kb := b.RowPtr[j]; kb < b.RowPtr[j+1]; kb++ {
-						col := b.ColIdx[kb]
-						if mark[col] != i {
-							mark[col] = i
-							acc[col] = 0
-							rowCols = append(rowCols, col)
-						}
-						acc[col] += av * b.Val[kb]
+	DefaultPool().Run(workers, func(w int) {
+		rr := &ranges[w]
+		rr.lo, rr.hi = cuts[w], cuts[w+1]
+		rr.rowLen = make([]int, rr.hi-rr.lo)
+		if rr.lo == rr.hi {
+			return // a single heavy row can leave neighbouring ranges empty
+		}
+		acc := make([]float64, b.C)
+		mark := make([]int, b.C)
+		for i := range mark {
+			mark[i] = -1
+		}
+		var rowCols []int
+		for i := rr.lo; i < rr.hi; i++ {
+			rowCols = rowCols[:0]
+			for ka := a.RowPtr[i]; ka < a.RowPtr[i+1]; ka++ {
+				j := a.ColIdx[ka]
+				av := a.Val[ka]
+				for kb := b.RowPtr[j]; kb < b.RowPtr[j+1]; kb++ {
+					col := b.ColIdx[kb]
+					if mark[col] != i {
+						mark[col] = i
+						acc[col] = 0
+						rowCols = append(rowCols, col)
 					}
+					acc[col] += av * b.Val[kb]
 				}
-				sort.Ints(rowCols)
-				for _, col := range rowCols {
-					rr.colIdx = append(rr.colIdx, col)
-					rr.val = append(rr.val, acc[col])
-				}
-				rr.rowLen[i-rr.lo] = len(rowCols)
 			}
-		}(&ranges[w])
-	}
-	wg.Wait()
+			sort.Ints(rowCols)
+			for _, col := range rowCols {
+				rr.colIdx = append(rr.colIdx, col)
+				rr.val = append(rr.val, acc[col])
+			}
+			rr.rowLen[i-rr.lo] = len(rowCols)
+		}
+	})
 
 	out := &CSR{R: a.R, C: b.C, RowPtr: make([]int, a.R+1)}
 	total := 0

@@ -25,6 +25,29 @@ func TestParallelMulMatchesMul(t *testing.T) {
 	}
 }
 
+// TestParallelMulWorkersInvariant drives matrices large enough to take the
+// pooled parallel path (past parallelMulMinWork) and asserts the output is
+// bit-identical for every workers value: the nnz-balanced cuts depend only
+// on (a, workers) and each row is produced by exactly one range, so the
+// result must not vary with scheduling or worker count.
+func TestParallelMulWorkersInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(132))
+	a := randomCSR(rng, 400, 400, 0.08)
+	b := randomCSR(rng, 400, 400, 0.08)
+	if work := float64(a.NNZ()) * float64(b.NNZ()) / float64(b.R); work < parallelMulMinWork {
+		t.Fatalf("fixture too small to exercise the parallel path (work=%.0f)", work)
+	}
+	want := Mul(a, b)
+	for _, workers := range []int{0, 1, 2, 3, 4, 7, 16, 400} {
+		got := ParallelMul(a, b, workers)
+		if !reflect.DeepEqual(got.RowPtr, want.RowPtr) ||
+			!reflect.DeepEqual(got.ColIdx, want.ColIdx) ||
+			!reflect.DeepEqual(got.Val, want.Val) {
+			t.Fatalf("workers=%d: ParallelMul output differs from Mul", workers)
+		}
+	}
+}
+
 func TestParallelMulShapePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

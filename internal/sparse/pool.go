@@ -1,0 +1,141 @@
+package sparse
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// WorkerPool is a persistent set of worker goroutines for row-partitioned
+// parallel kernels. Workers are spawned once and locked to OS threads (the
+// closest portable approximation of CPU pinning Go offers), so repeated
+// parallel products pay a channel handoff per task instead of a goroutine
+// spawn plus scheduler warm-up per call.
+//
+// Run never requires a free worker to make progress: the calling goroutine
+// always participates, and workers are recruited only if one is idle at
+// dispatch time. Work is handed out through an atomic task cursor, so the
+// assignment of tasks to goroutines is racy — callers must make each
+// task's effect independent of which goroutine runs it (the row-partition
+// kernels write disjoint output ranges, so their results are identical for
+// any worker count, including zero recruited workers).
+//
+// Tasks must not call Run on the same pool (no nesting); a task that did
+// could wait on workers that are all busy running its caller.
+type WorkerPool struct {
+	workers int
+	work    chan func()
+}
+
+// NewWorkerPool starts a pool of n workers (n <= 0 selects GOMAXPROCS).
+// The workers run until Close.
+func NewWorkerPool(n int) *WorkerPool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &WorkerPool{workers: n, work: make(chan func())}
+	for i := 0; i < n; i++ {
+		go func() {
+			runtime.LockOSThread()
+			for f := range p.work {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the number of pool workers.
+func (p *WorkerPool) Workers() int { return p.workers }
+
+// Close stops the workers. Run must not be in flight or called afterwards.
+func (p *WorkerPool) Close() { close(p.work) }
+
+// Run executes f(0) … f(tasks-1), fanning tasks out over idle pool workers
+// with the calling goroutine participating, and returns when every task
+// has completed.
+func (p *WorkerPool) Run(tasks int, f func(task int)) {
+	if tasks <= 0 {
+		return
+	}
+	if tasks == 1 {
+		f(0)
+		return
+	}
+	var cursor atomic.Int64
+	loop := func() {
+		for {
+			t := cursor.Add(1) - 1
+			if t >= int64(tasks) {
+				return
+			}
+			f(int(t))
+		}
+	}
+	var wg sync.WaitGroup
+	recruit := p.workers
+	if recruit > tasks-1 {
+		recruit = tasks - 1
+	}
+	for i := 0; i < recruit; i++ {
+		wg.Add(1)
+		job := func() { defer wg.Done(); loop() }
+		select {
+		case p.work <- job: // an idle worker picked it up
+		default: // all workers busy: the caller covers the work itself
+			wg.Done()
+		}
+	}
+	loop()
+	wg.Wait()
+}
+
+var (
+	defaultPoolOnce sync.Once
+	defaultPool     *WorkerPool
+)
+
+// DefaultPool returns the process-wide pool of GOMAXPROCS workers, created
+// on first use and shared by every parallel kernel (ParallelMul, the
+// kernel-layer parallel wrapper), so the process never accumulates one
+// pool per matrix.
+func DefaultPool() *WorkerPool {
+	defaultPoolOnce.Do(func() { defaultPool = NewWorkerPool(0) })
+	return defaultPool
+}
+
+// SplitNNZ partitions rows [0, len(rowPtr)-1) into parts contiguous ranges
+// of roughly equal stored-entry count, returning parts+1 ascending
+// boundaries (cuts[0] = 0, cuts[parts] = row count). Ranges may be empty
+// when a single row holds more than a part's share. Balancing by entries
+// rather than rows keeps workers evenly loaded on skewed matrices, where
+// an even row split can leave one worker with most of the arithmetic.
+func SplitNNZ(rowPtr []int, parts int) []int {
+	r := len(rowPtr) - 1
+	if r < 0 || parts <= 0 {
+		panic(fmt.Sprintf("sparse: SplitNNZ over %d rows into %d parts", r, parts))
+	}
+	cuts := make([]int, parts+1)
+	cuts[parts] = r
+	total := rowPtr[r]
+	for w := 1; w < parts; w++ {
+		target := total * w / parts
+		// First row whose prefix reaches the target, then step back if the
+		// previous boundary leaves the prefix nearer the target (a single
+		// heavy row should land on whichever side balances better).
+		cut := sort.SearchInts(rowPtr, target)
+		if cut > r {
+			cut = r
+		}
+		if cut > 0 && target-rowPtr[cut-1] < rowPtr[cut]-target {
+			cut--
+		}
+		if cut < cuts[w-1] {
+			cut = cuts[w-1]
+		}
+		cuts[w] = cut
+	}
+	return cuts
+}

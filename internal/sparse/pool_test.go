@@ -1,0 +1,97 @@
+package sparse
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkerPoolRunCoversAllTasks(t *testing.T) {
+	p := NewWorkerPool(3)
+	defer p.Close()
+	for _, tasks := range []int{0, 1, 2, 3, 7, 64, 1000} {
+		var hits atomic.Int64
+		seen := make([]atomic.Int32, tasks)
+		p.Run(tasks, func(task int) {
+			seen[task].Add(1)
+			hits.Add(1)
+		})
+		if got := hits.Load(); got != int64(tasks) {
+			t.Fatalf("tasks=%d: ran %d task invocations", tasks, got)
+		}
+		for i := range seen {
+			if n := seen[i].Load(); n != 1 {
+				t.Fatalf("tasks=%d: task %d ran %d times", tasks, i, n)
+			}
+		}
+	}
+}
+
+// Concurrent Runs must not deadlock even when every worker is busy: the
+// select-default recruitment falls back to caller-only execution.
+func TestWorkerPoolConcurrentRuns(t *testing.T) {
+	p := NewWorkerPool(2)
+	defer p.Close()
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				p.Run(5, func(task int) { total.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if got := total.Load(); got != 8*50*5 {
+		t.Fatalf("total task invocations = %d, want %d", got, 8*50*5)
+	}
+}
+
+func TestDefaultPool(t *testing.T) {
+	p := DefaultPool()
+	if p != DefaultPool() {
+		t.Fatal("DefaultPool not a singleton")
+	}
+	if p.Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default pool workers = %d, want GOMAXPROCS = %d", p.Workers(), runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestSplitNNZ(t *testing.T) {
+	cases := []struct {
+		name   string
+		rowPtr []int
+		parts  int
+	}{
+		{"empty", []int{0}, 3},
+		{"uniform", []int{0, 2, 4, 6, 8, 10, 12, 14, 16}, 4},
+		{"skewed-head", []int{0, 100, 101, 102, 103, 104}, 2},
+		{"skewed-tail", []int{0, 1, 2, 3, 4, 104}, 2},
+		{"all-empty-rows", []int{0, 0, 0, 0, 0}, 3},
+		{"more-parts-than-rows", []int{0, 5, 9}, 8},
+	}
+	for _, tc := range cases {
+		cuts := SplitNNZ(tc.rowPtr, tc.parts)
+		r := len(tc.rowPtr) - 1
+		if len(cuts) != tc.parts+1 {
+			t.Fatalf("%s: %d cuts, want %d", tc.name, len(cuts), tc.parts+1)
+		}
+		if cuts[0] != 0 || cuts[tc.parts] != r {
+			t.Fatalf("%s: boundary cuts %v, want 0..%d", tc.name, cuts, r)
+		}
+		for w := 1; w <= tc.parts; w++ {
+			if cuts[w] < cuts[w-1] {
+				t.Fatalf("%s: cuts not monotone: %v", tc.name, cuts)
+			}
+		}
+	}
+
+	// Balance check on the skewed-tail case: the heavy row must sit alone.
+	cuts := SplitNNZ([]int{0, 1, 2, 3, 4, 104}, 2)
+	if cuts[1] != 4 {
+		t.Fatalf("skewed-tail cuts = %v, want the heavy row isolated at [4,5)", cuts)
+	}
+}

@@ -24,14 +24,21 @@ func SolveLower(l *CSC, b []float64, unit bool) error {
 			if k >= hi || l.RowIdx[k] != j {
 				return fmt.Errorf("sparse: zero diagonal at %d in lower solve", j)
 			}
-			b[j] /= l.Val[k]
+			// Skipping the division when the stored diagonal is exactly 1
+			// is bit-identical (x/1 == x in IEEE 754) and common: unit
+			// factors are often stored with explicit ones.
+			if d := l.Val[k]; d != 1 {
+				b[j] /= d
+			}
 			k++
 		} else if k < hi && l.RowIdx[k] == j {
 			k++ // skip stored unit diagonal
 		}
 		xj := b[j]
-		for ; k < hi; k++ {
-			b[l.RowIdx[k]] -= l.Val[k] * xj
+		rows := l.RowIdx[k:hi:hi]
+		vals := l.Val[k:hi:hi]
+		for t, v := range vals {
+			b[rows[t]] -= v * xj
 		}
 	}
 	return nil
@@ -51,10 +58,14 @@ func SolveUpper(u *CSC, b []float64) error {
 		if hi <= lo || u.RowIdx[hi-1] != j {
 			return fmt.Errorf("sparse: zero diagonal at %d in upper solve", j)
 		}
-		b[j] /= u.Val[hi-1]
+		if d := u.Val[hi-1]; d != 1 {
+			b[j] /= d
+		}
 		xj := b[j]
-		for k := lo; k < hi-1; k++ {
-			b[u.RowIdx[k]] -= u.Val[k] * xj
+		rows := u.RowIdx[lo : hi-1 : hi-1]
+		vals := u.Val[lo : hi-1 : hi-1]
+		for k, v := range vals {
+			b[rows[k]] -= v * xj
 		}
 	}
 	return nil

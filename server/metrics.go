@@ -10,6 +10,7 @@ import (
 	"bear"
 	"bear/internal/obsv"
 	"bear/internal/resultcache"
+	"bear/internal/sparse/kernel"
 )
 
 // This file wires the obsv metrics registry into the serving layer. Every
@@ -112,6 +113,24 @@ func (s *Server) metrics() *serverMetrics {
 			s.mu.RUnlock()
 			return float64(n)
 		})
+
+		// Kernel-layer layout/parallel-path counters, read live from
+		// internal/sparse/kernel. Process-wide rather than per graph:
+		// layouts are chosen per matrix at preprocess/load time, and the
+		// hot-path counters are plain atomics with no graph dimension.
+		for _, layout := range kernel.Layouts() {
+			layout := layout
+			l := obsv.L("layout", layout)
+			reg.CounterFunc("bear_kernel_selected_total",
+				"Kernel matrices constructed, by storage layout ('parallel' counts wrappers around another layout). Shows what the auto heuristic or the -kernel override picked.",
+				func() uint64 { sel, _, _ := kernel.Stats(layout); return sel }, l)
+			reg.CounterFunc("bear_kernel_spmv_total",
+				"Kernel SpMV-family calls (full, row-ranged and column-ranged), by layout.",
+				func() uint64 { _, spmv, _ := kernel.Stats(layout); return spmv }, l)
+			reg.CounterFunc("bear_kernel_spmm_total",
+				"Kernel SpMM-family (multi-RHS) calls, by layout.",
+				func() uint64 { _, _, spmm := kernel.Stats(layout); return spmm }, l)
+		}
 		s.srvMetrics = m
 	})
 	return s.srvMetrics

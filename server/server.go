@@ -89,6 +89,12 @@ type Server struct {
 	// traces still work.
 	TraceSlow time.Duration
 
+	// DefaultKernel is the query-kernel layout spec applied to graphs
+	// registered over the API without an explicit ?kernel= choice: "" or
+	// "auto" (per-matrix heuristic), "csr", "hybrid", "sell", "parallel".
+	// Set from the bearserve -kernel flag; see internal/sparse/kernel.
+	DefaultKernel string
+
 	sem         chan struct{}
 	semOnce     sync.Once
 	cache       *resultcache.Cache
@@ -363,6 +369,12 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		opts.Laplacian = lap
+	}
+	opts.Kernel = s.DefaultKernel
+	if v := q.Get("kernel"); v != "" {
+		// Validity is checked by Preprocess before any work happens, so an
+		// unknown layout comes back as a clean 400 below.
+		opts.Kernel = v
 	}
 	body := http.MaxBytesReader(w, r.Body, s.MaxBodyBytes)
 	g, err := sniffLoad(body)

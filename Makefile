@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench fuzz experiments examples clean
+.PHONY: all build vet test race cover bench fuzz experiments examples clean cluster-smoke
 
 all: build vet test
 
@@ -33,6 +33,11 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDynamicUpdate -fuzztime=30s ./internal/core/
 	$(GO) test -run='^$$' -fuzz=FuzzSniffLoad -fuzztime=30s ./server/
 	$(GO) test -run='^$$' -fuzz=FuzzReadSnapshot -fuzztime=30s ./server/
+
+# Boot 3 real shards + a bearfront, kill one shard under load, assert
+# failover/ejection/repair over real sockets.
+cluster-smoke:
+	scripts/cluster_smoke.sh
 
 # Regenerate the paper's tables and figures (writes CSVs to results/).
 experiments:

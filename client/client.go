@@ -4,9 +4,14 @@
 //
 // Idempotent requests (queries, stats, health) are retried automatically
 // on transport failures and retryable statuses (429/502/503/504) with
-// exponential backoff, jitter, and respect for the server's Retry-After
-// hint. Mutations — edge updates, uploads, rebuilds — are never retried,
-// since replaying them could apply an update twice.
+// exponential backoff, jitter, a total wall-clock budget, and respect for
+// the server's Retry-After hint in both its HTTP shapes (delta-seconds and
+// HTTP-date). Mutations — edge updates, uploads, rebuilds — are never
+// retried, since replaying them could apply an update twice.
+//
+// Against a bearfront coordinator the same API applies unchanged; use
+// NewCluster to spread requests across several stateless front instances
+// with client-side failover between them.
 package client
 
 import (
@@ -16,22 +21,24 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"bear/internal/retry"
 	"bear/server"
 )
 
-// Client talks to one bearserve instance.
+// Client talks to one bearserve instance, or to one or more bearfront
+// coordinators (see NewCluster).
 type Client struct {
-	base       string
-	http       *http.Client
-	maxRetries int
-	retryBase  time.Duration
+	bases  []string
+	cur    atomic.Uint32 // index into bases of the currently preferred URL
+	http   *http.Client
+	policy retry.Policy
 }
 
 // Option customizes a Client.
@@ -46,28 +53,67 @@ func WithHTTPClient(h *http.Client) Option {
 // WithRetries sets how many times an idempotent request is retried after
 // its first failure (default 2; 0 disables retries).
 func WithRetries(n int) Option {
-	return func(c *Client) { c.maxRetries = n }
+	return func(c *Client) { c.policy.MaxRetries = n }
 }
 
 // WithRetryBaseDelay sets the first backoff delay; each retry doubles it
 // before jitter (default 100ms).
 func WithRetryBaseDelay(d time.Duration) Option {
-	return func(c *Client) { c.retryBase = d }
+	return func(c *Client) { c.policy.BaseDelay = d }
+}
+
+// WithRetryBudget caps the total wall clock a single call spends across
+// attempts and backoff sleeps (default 1 minute; 0 removes the cap). A
+// retry whose backoff would land past the budget is abandoned and the last
+// error returned, so a pathological Retry-After hint cannot stall callers.
+func WithRetryBudget(d time.Duration) Option {
+	return func(c *Client) { c.policy.Budget = d }
 }
 
 // New returns a client for the service at baseURL (e.g.
 // "http://localhost:8080").
 func New(baseURL string, opts ...Option) *Client {
+	return NewCluster([]string{baseURL}, opts...)
+}
+
+// NewCluster returns a cluster-aware client: baseURLs name one or more
+// bearfront coordinators (all serving the same shard set — fronts are
+// stateless, so any of them can answer any request). Requests go to the
+// currently preferred front; when it fails at the transport level or
+// answers 502/503/504, the client rotates to the next front for the retry
+// and keeps the new preference for subsequent calls, so a dead coordinator
+// costs one failover rather than one per request.
+func NewCluster(baseURLs []string, opts ...Option) *Client {
+	bases := make([]string, 0, len(baseURLs))
+	for _, u := range baseURLs {
+		bases = append(bases, strings.TrimRight(u, "/"))
+	}
+	if len(bases) == 0 {
+		bases = []string{""}
+	}
 	c := &Client{
-		base:       strings.TrimRight(baseURL, "/"),
-		http:       &http.Client{Timeout: 5 * time.Minute},
-		maxRetries: 2,
-		retryBase:  100 * time.Millisecond,
+		bases:  bases,
+		http:   &http.Client{Timeout: 5 * time.Minute},
+		policy: retry.DefaultPolicy,
 	}
 	for _, o := range opts {
 		o(c)
 	}
 	return c
+}
+
+// base returns the currently preferred base URL.
+func (c *Client) base() string {
+	return c.bases[int(c.cur.Load())%len(c.bases)]
+}
+
+// rotateBase moves the preference to the next base URL, if there are
+// several. from guards against concurrent requests rotating twice for one
+// shared failure observation.
+func (c *Client) rotateBase(from uint32) {
+	if len(c.bases) > 1 {
+		c.cur.CompareAndSwap(from, from+1)
+	}
 }
 
 // APIError is a non-2xx response from the service.
@@ -84,24 +130,27 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("bear service: %s (HTTP %d)", e.Message, e.Status)
 }
 
-// do sends one request, retrying idempotent ones. body is a byte slice —
-// not a reader — precisely so every retry can replay it from the start.
+// do sends one request, retrying idempotent ones under the retry policy's
+// attempt count and wall-clock budget. body is a byte slice — not a
+// reader — precisely so every retry can replay it from the start.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, idempotent bool, out interface{}) error {
 	attempts := 1
-	if idempotent && c.maxRetries > 0 {
-		attempts += c.maxRetries
+	if idempotent {
+		attempts = c.policy.Attempts()
 	}
+	budget := retry.StartBudget(time.Now(), c.policy.Budget)
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			t := time.NewTimer(c.backoff(attempt-1, lastErr))
-			select {
-			case <-t.C:
-			case <-ctx.Done():
-				t.Stop()
+			sleep := c.policy.Backoff(attempt-1, retryAfterHint(lastErr))
+			if !budget.Allows(time.Now(), sleep) {
+				return lastErr
+			}
+			if retry.Sleep(ctx, sleep) != nil {
 				return lastErr
 			}
 		}
+		from := c.cur.Load()
 		err := c.doOnce(ctx, method, path, body, out)
 		if err == nil {
 			return nil
@@ -109,6 +158,11 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, idemp
 		lastErr = err
 		if !retryable(err) {
 			return err
+		}
+		if frontFailure(err) {
+			// The preferred front itself looks unhealthy; aim the retry
+			// (and subsequent calls) at the next one.
+			c.rotateBase(from)
 		}
 	}
 	return lastErr
@@ -119,7 +173,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, o
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, c.base()+path, rd)
 	if err != nil {
 		return err
 	}
@@ -149,12 +203,38 @@ func readAPIError(resp *http.Response) error {
 		msg = apiErr.Error
 	}
 	e := &APIError{Status: resp.StatusCode, Message: msg}
-	if v := resp.Header.Get("Retry-After"); v != "" {
-		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
-			e.RetryAfter = time.Duration(secs) * time.Second
-		}
+	if d, ok := retry.ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+		e.RetryAfter = d
 	}
 	return e
+}
+
+// retryAfterHint extracts the server's Retry-After hint from the last
+// error, zero when there was none.
+func retryAfterHint(err error) time.Duration {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.RetryAfter
+	}
+	return 0
+}
+
+// frontFailure reports whether an error indicts the front itself (dead
+// process, gateway trouble) rather than the request — the cases where a
+// cluster-aware client should rotate to another coordinator. 429 and
+// plain 503 shedding are load signals, not liveness ones; rotating on
+// them would herd every client onto the least-loaded front at once.
+func frontFailure(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		switch apiErr.Status {
+		case http.StatusBadGateway, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	// Transport-level failure: no response arrived at all.
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
 }
 
 // retryable reports whether a failed attempt is worth repeating: shed or
@@ -177,25 +257,17 @@ func retryable(err error) bool {
 	return true
 }
 
-// backoff picks the sleep before retry number attempt+1: the server's
-// Retry-After hint when present, otherwise exponential growth from the
-// base delay with ±50% jitter so synchronized clients fan out.
-func (c *Client) backoff(attempt int, err error) time.Duration {
-	var apiErr *APIError
-	if errors.As(err, &apiErr) && apiErr.RetryAfter > 0 {
-		return apiErr.RetryAfter
-	}
-	base := c.retryBase
-	if base <= 0 {
-		base = 100 * time.Millisecond
-	}
-	d := base << uint(attempt)
-	return d/2 + time.Duration(rand.Int63n(int64(d)))
-}
-
-// Health reports whether the service is reachable and healthy.
+// Health reports whether the service is reachable and healthy (alive; for
+// a shard's query-serving readiness, see Ready).
 func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, true, nil)
+}
+
+// Ready reports whether the service is ready to serve queries: at least
+// one graph loaded and no snapshot restore in progress. A non-ready
+// server answers 503, surfaced here as an *APIError.
+func (c *Client) Ready(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/readyz", nil, true, nil)
 }
 
 // UploadOptions tunes preprocessing of an uploaded graph.
@@ -229,7 +301,7 @@ func (c *Client) Upload(ctx context.Context, name string, graph io.Reader, opts 
 	// Uploads stream the (potentially huge) graph body and preprocess on
 	// the server; they are not idempotent-retried. The request is built
 	// directly so the body need not be buffered.
-	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.base+path, graph)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.base()+path, graph)
 	if err != nil {
 		return info, err
 	}
@@ -435,7 +507,7 @@ func (c *Client) Snapshot(ctx context.Context) error {
 // for ad-hoc inspection where no scraper is running. Returns an
 // *APIError with status 404 if the server runs with metrics disabled.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base()+"/metrics", nil)
 	if err != nil {
 		return "", err
 	}
@@ -449,4 +521,57 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	}
 	body, err := io.ReadAll(resp.Body)
 	return string(body), err
+}
+
+// ShardStatus is one shard's view in a bearfront cluster-status report.
+type ShardStatus struct {
+	ID          string  `json:"id"`
+	URL         string  `json:"url"`
+	State       string  `json:"state"` // healthy, half-open, ejected
+	SuccessRate float64 `json:"success_rate"`
+	LastError   string  `json:"last_error,omitempty"`
+}
+
+// ClusterStatus is the bearfront coordinator's membership and placement
+// report (GET /v1/cluster/status).
+type ClusterStatus struct {
+	Replication int           `json:"replication"`
+	Shards      []ShardStatus `json:"shards"`
+	// Replicas is the placement of the graph named in the request's
+	// ?graph= parameter; empty when none was asked for.
+	Replicas []string `json:"replicas,omitempty"`
+}
+
+// Cluster reports shard health and, when graph is non-empty, the
+// replica placement of that graph. It only works against a bearfront
+// coordinator; a plain bearserve answers 404.
+func (c *Client) Cluster(ctx context.Context, graph string) (ClusterStatus, error) {
+	path := "/v1/cluster/status"
+	if graph != "" {
+		path += "?graph=" + url.QueryEscape(graph)
+	}
+	var st ClusterStatus
+	err := c.do(ctx, http.MethodGet, path, nil, true, &st)
+	return st, err
+}
+
+// RepairOutcome reports one replica's result of an anti-entropy repair.
+type RepairOutcome struct {
+	Shard  string `json:"shard"`
+	OK     bool   `json:"ok"`
+	Status int    `json:"status,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Repair asks a bearfront coordinator to re-push graph from a healthy
+// replica's exported state to lagging replicas (POST /v1/cluster/repair).
+// Not retried: a half-finished repair is safe but re-running it doubles
+// the copy work, so the caller decides.
+func (c *Client) Repair(ctx context.Context, graph string) ([]RepairOutcome, error) {
+	var out struct {
+		Source   string          `json:"source"`
+		Outcomes []RepairOutcome `json:"outcomes"`
+	}
+	err := c.do(ctx, http.MethodPost, "/v1/cluster/repair?graph="+url.QueryEscape(graph), nil, false, &out)
+	return out.Outcomes, err
 }

@@ -299,3 +299,92 @@ func TestClientRefinedQueryAndAccuracy(t *testing.T) {
 		t.Fatalf("QueryRefined with pending updates: %v, want 400", err)
 	}
 }
+
+func TestClientRetryAfterHTTPDate(t *testing.T) {
+	var mu sync.Mutex
+	gets := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		gets++
+		if gets < 2 {
+			// An HTTP-date Retry-After in the past: "retry immediately".
+			w.Header().Set("Retry-After", time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"shed"}`)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ok"}`)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(2), WithRetryBaseDelay(time.Millisecond))
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health should have parsed the HTTP-date hint and retried: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if gets != 2 {
+		t.Fatalf("GET attempted %d times, want 2", gets)
+	}
+}
+
+func TestClientRetryBudget(t *testing.T) {
+	var mu sync.Mutex
+	gets := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		gets++
+		mu.Unlock()
+		// Each failure points far beyond the client's budget.
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"shed"}`)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(5), WithRetryBudget(50*time.Millisecond))
+	start := time.Now()
+	err := c.Health(context.Background())
+	if err == nil {
+		t.Fatal("expected failure once the budget was exhausted")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("budget did not cut retries short: took %v", elapsed)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if gets != 1 {
+		t.Fatalf("GET attempted %d times, want 1 (30s hint exceeds 50ms budget)", gets)
+	}
+}
+
+func TestClientClusterFailover(t *testing.T) {
+	// The dead front: every request is a transport error.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+	var mu sync.Mutex
+	hits := 0
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		hits++
+		mu.Unlock()
+		fmt.Fprint(w, `{"status":"ok"}`)
+	}))
+	defer live.Close()
+
+	c := NewCluster([]string{deadURL, live.URL}, WithRetries(2), WithRetryBaseDelay(time.Millisecond))
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health should have failed over to the live front: %v", err)
+	}
+	// The preference sticks: the next call goes straight to the live front.
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("second Health: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if hits != 2 {
+		t.Fatalf("live front hit %d times, want 2", hits)
+	}
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func testHealthCfg() *HealthConfig {
+	cfg := &HealthConfig{
+		WindowSize:    8,
+		MinSamples:    4,
+		SuccessFloor:  0.5,
+		ProbeFailures: 2,
+		EjectDuration: 20 * time.Millisecond,
+	}
+	cfg.fillDefaults()
+	return cfg
+}
+
+func TestPassiveEjection(t *testing.T) {
+	cfg := testHealthCfg()
+	sh := &shard{id: "a", base: "http://unused"}
+
+	// Failures below MinSamples must not eject — one bad request on a
+	// quiet shard is noise, not a signal.
+	for i := 0; i < cfg.MinSamples-1; i++ {
+		if sh.report(false, "boom", cfg) {
+			t.Fatalf("ejected after %d samples, below MinSamples=%d", i+1, cfg.MinSamples)
+		}
+	}
+	if st, _, _ := sh.snapshotState(); st != Healthy {
+		t.Fatalf("state = %v before MinSamples, want healthy", st)
+	}
+	// One more failure crosses MinSamples with a 0% success rate: eject.
+	if !sh.report(false, "boom", cfg) {
+		t.Fatal("want ejection once MinSamples failures accumulate")
+	}
+	st, rate, lastErr := sh.snapshotState()
+	if st != Ejected || rate != 0 || lastErr != "boom" {
+		t.Fatalf("after ejection: state=%v rate=%v lastErr=%q", st, rate, lastErr)
+	}
+}
+
+func TestMixedTrafficStaysHealthy(t *testing.T) {
+	cfg := testHealthCfg()
+	sh := &shard{id: "a"}
+	// 6 ok, 2 fail: 75% success, above the 50% floor.
+	for i := 0; i < 6; i++ {
+		sh.report(true, "", cfg)
+	}
+	for i := 0; i < 2; i++ {
+		if sh.report(false, "x", cfg) {
+			t.Fatal("ejected at 75% success rate")
+		}
+	}
+	if st, rate, _ := sh.snapshotState(); st != Healthy || rate != 0.75 {
+		t.Fatalf("state=%v rate=%v, want healthy 0.75", st, rate)
+	}
+}
+
+func TestHalfOpenRecoveryViaRequest(t *testing.T) {
+	cfg := testHealthCfg()
+	sh := &shard{id: "a"}
+	for i := 0; i < cfg.MinSamples; i++ {
+		sh.report(false, "down", cfg)
+	}
+	if st, _, _ := sh.snapshotState(); st != Ejected {
+		t.Fatalf("setup: want ejected, got %v", st)
+	}
+
+	// Cooldown not elapsed: stays ejected.
+	sh.maybeHalfOpen(cfg)
+	if st, _, _ := sh.snapshotState(); st != Ejected {
+		t.Fatalf("half-opened before cooldown elapsed: %v", st)
+	}
+	time.Sleep(cfg.EjectDuration + 5*time.Millisecond)
+	sh.maybeHalfOpen(cfg)
+	if st, _, _ := sh.snapshotState(); st != HalfOpen {
+		t.Fatalf("want half-open after cooldown, got %v", st)
+	}
+
+	// A successful real request during the trial re-admits with a clean
+	// window (old failures must not instantly re-eject).
+	sh.report(true, "", cfg)
+	st, rate, lastErr := sh.snapshotState()
+	if st != Healthy || lastErr != "" {
+		t.Fatalf("after trial success: state=%v lastErr=%q", st, lastErr)
+	}
+	if rate != 1 {
+		t.Fatalf("window not reset on recovery: rate=%v", rate)
+	}
+}
+
+func TestProbeEjectionAndReEjection(t *testing.T) {
+	cfg := testHealthCfg()
+	sh := &shard{id: "a"}
+
+	// Consecutive probe failures eject; a success in between resets.
+	sh.probeResult(false, "refused", cfg)
+	sh.probeResult(true, "", cfg)
+	if sh.probeResult(false, "refused", cfg) {
+		t.Fatal("single probe failure after a success must not eject")
+	}
+	if !sh.probeResult(false, "refused", cfg) {
+		t.Fatalf("want ejection after %d consecutive probe failures", cfg.ProbeFailures)
+	}
+
+	// Failing the half-open trial re-ejects.
+	time.Sleep(cfg.EjectDuration + 5*time.Millisecond)
+	sh.maybeHalfOpen(cfg)
+	if !sh.probeResult(false, "still down", cfg) {
+		t.Fatal("half-open trial failure must re-eject")
+	}
+	if st, _, _ := sh.snapshotState(); st != Ejected {
+		t.Fatalf("want ejected after failed trial, got %v", st)
+	}
+
+	// And a passing trial recovers.
+	time.Sleep(cfg.EjectDuration + 5*time.Millisecond)
+	sh.maybeHalfOpen(cfg)
+	sh.probeResult(true, "", cfg)
+	if st, _, _ := sh.snapshotState(); st != Healthy {
+		t.Fatalf("want healthy after passing trial, got %v", st)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for st, want := range map[State]string{Healthy: "healthy", HalfOpen: "half-open", Ejected: "ejected"} {
+		if st.String() != want {
+			t.Fatalf("State(%d).String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package cluster
+
+import "sort"
+
+// Graph placement is pure consistent hashing over the shard set: every
+// front instance with the same -shard list computes the same placement
+// with no coordination state, which is what keeps bearfront stateless and
+// horizontally scalable. Each shard contributes ringWeight virtual points
+// (hash of "id#k") so load spreads evenly even with a handful of shards;
+// a graph's replicas are the first R distinct shards clockwise from the
+// hash of its name. Adding or removing one shard moves only ~1/N of the
+// keyspace — existing graphs mostly stay put, and /v1/cluster/repair
+// re-pushes the ones that moved.
+
+const ringWeight = 64
+
+type ringPoint struct {
+	hash  uint64
+	shard int // index into ids
+}
+
+// Ring is an immutable consistent-hash ring over shard IDs.
+type Ring struct {
+	points []ringPoint
+	ids    []string
+}
+
+// NewRing builds the ring. ids must be non-empty and free of duplicates
+// (validated by cluster.New before this is reached).
+func NewRing(ids []string) *Ring {
+	r := &Ring{ids: append([]string(nil), ids...)}
+	r.points = make([]ringPoint, 0, len(ids)*ringWeight)
+	for si, id := range ids {
+		for k := 0; k < ringWeight; k++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(id, k), shard: si})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on shard index so same-hash points (vanishingly rare,
+		// but possible) order identically on every front.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Replicas returns the IDs of the first n distinct shards clockwise from
+// key's position, primary first. n is clamped to the shard count.
+func (r *Ring) Replicas(key string, n int) []string {
+	if n > len(r.ids) {
+		n = len(r.ids)
+	}
+	if n <= 0 {
+		return nil
+	}
+	h := fnv64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, r.ids[p.shard])
+		}
+	}
+	return out
+}
+
+// fnv64 is FNV-1a; inlined rather than hash/fnv to avoid an allocation on
+// every placement lookup.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func pointHash(id string, k int) uint64 {
+	h := fnv64(id)
+	h ^= uint64(k) + 0x9e3779b97f4a7c15
+	// A 64-bit finalizer (splitmix64) so virtual points of one shard
+	// scatter rather than clustering near the shard's base hash.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

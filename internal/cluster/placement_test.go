@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestReplicasBasics(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c", "d"})
+	got := r.Replicas("some-graph", 2)
+	if len(got) != 2 {
+		t.Fatalf("want 2 replicas, got %v", got)
+	}
+	if got[0] == got[1] {
+		t.Fatalf("replicas must be distinct shards, got %v", got)
+	}
+	// Deterministic: same ring, same key, same answer.
+	for i := 0; i < 10; i++ {
+		again := r.Replicas("some-graph", 2)
+		if again[0] != got[0] || again[1] != got[1] {
+			t.Fatalf("placement not deterministic: %v then %v", got, again)
+		}
+	}
+	// Clamped to the shard count.
+	if got := r.Replicas("k", 99); len(got) != 4 {
+		t.Fatalf("want clamp to 4 shards, got %v", got)
+	}
+	if got := r.Replicas("k", 0); got != nil {
+		t.Fatalf("want nil for n=0, got %v", got)
+	}
+}
+
+func TestReplicasIndependentOfIDOrder(t *testing.T) {
+	// Placement must depend on the shard *set*, not the order fronts list
+	// it in — otherwise two fronts with shuffled configs disagree.
+	r1 := NewRing([]string{"a", "b", "c"})
+	r2 := NewRing([]string{"c", "a", "b"})
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("graph-%d", i)
+		g1, g2 := r1.Replicas(key, 2), r2.Replicas(key, 2)
+		if g1[0] != g2[0] || g1[1] != g2[1] {
+			t.Fatalf("key %q: ring order changed placement: %v vs %v", key, g1, g2)
+		}
+	}
+}
+
+func TestReplicasBalance(t *testing.T) {
+	ids := []string{"a", "b", "c", "d"}
+	r := NewRing(ids)
+	primaries := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		primaries[r.Replicas(fmt.Sprintf("graph-%d", i), 1)[0]]++
+	}
+	// Perfect balance is 25% each; with 64 virtual points per shard the
+	// spread should stay within a loose band.
+	for _, id := range ids {
+		share := float64(primaries[id]) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("shard %s owns %.1f%% of primaries, outside [10%%,45%%]: %v",
+				id, share*100, primaries)
+		}
+	}
+}
+
+func TestReplicasStabilityUnderMembershipChange(t *testing.T) {
+	before := NewRing([]string{"a", "b", "c", "d"})
+	after := NewRing([]string{"a", "b", "c"}) // d removed
+	const keys = 2000
+	movedPrimary := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("graph-%d", i)
+		pb := before.Replicas(key, 1)[0]
+		pa := after.Replicas(key, 1)[0]
+		if pb != "d" && pb != pa {
+			movedPrimary++
+		}
+	}
+	// Consistent hashing's whole point: only keys that lived on the removed
+	// shard move. Allow a small tolerance for virtual-point boundary shifts.
+	if frac := float64(movedPrimary) / keys; frac > 0.02 {
+		t.Fatalf("%.1f%% of primaries moved after removing one shard; want ~0%%", frac*100)
+	}
+}

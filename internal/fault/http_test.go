@@ -1,0 +1,116 @@
+package fault
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, "ok")
+	})
+}
+
+func TestInjectorPassThrough(t *testing.T) {
+	in := NewInjector(1)
+	ts := httptest.NewServer(in.Wrap(okHandler()))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("unscripted request: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "ok" {
+		t.Fatalf("pass-through = %d %q", resp.StatusCode, body)
+	}
+	if in.Served() != 1 {
+		t.Fatalf("served = %d, want 1", in.Served())
+	}
+}
+
+func TestInjectorSlowThenSucceed(t *testing.T) {
+	in := NewInjector(1)
+	in.Script(false, Slow(80*time.Millisecond), Step{})
+	ts := httptest.NewServer(in.Wrap(okHandler()))
+	defer ts.Close()
+
+	start := time.Now()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("slow request: %v", err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 80*time.Millisecond {
+		t.Fatalf("first request took %v, want >= 80ms of injected latency", d)
+	}
+	start = time.Now()
+	resp, err = http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("fast request: %v", err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d > 60*time.Millisecond {
+		t.Fatalf("second request took %v, want fast (script exhausted)", d)
+	}
+}
+
+func TestInjectorStatusAndRepeat(t *testing.T) {
+	in := NewInjector(1)
+	in.Script(true, Step{Status: http.StatusServiceUnavailable})
+	ts := httptest.NewServer(in.Wrap(okHandler()))
+	defer ts.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("request %d = %d, want repeated 503", i, resp.StatusCode)
+		}
+	}
+}
+
+func TestInjectorDownAbortsConnections(t *testing.T) {
+	in := NewInjector(1)
+	ts := httptest.NewServer(in.Wrap(okHandler()))
+	defer ts.Close()
+	in.SetDown(true)
+	if _, err := http.Get(ts.URL); err == nil {
+		t.Fatal("request to a down injector should fail at the transport level")
+	}
+	in.SetDown(false)
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("request after restart: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("after restart = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestInjectorJitterDeterministic(t *testing.T) {
+	draw := func() []time.Duration {
+		in := NewInjector(42)
+		in.Script(true, Step{Delay: time.Millisecond, Jitter: 50 * time.Millisecond})
+		var out []time.Duration
+		for i := 0; i < 5; i++ {
+			out = append(out, in.next().Delay)
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jitter draw %d differs across same-seed injectors: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] < time.Millisecond || a[i] >= 51*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [1ms, 51ms)", a[i])
+		}
+	}
+}

@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Cluster end-to-end smoke: build bearserve + bearfront, boot three shards
+# and a front, exercise the API through the front, kill one shard under
+# it, and assert the replicated graph keeps answering while the outage is
+# visible in the front's metrics. Exercises real processes and real
+# sockets — the bits in-process tests can't.
+#
+# Usage: scripts/cluster_smoke.sh [base_port]   (default 18080)
+set -euo pipefail
+
+BASE=${1:-18080}
+FRONT_PORT=$BASE
+S1=$((BASE + 1)) S2=$((BASE + 2)) S3=$((BASE + 3))
+DIR=$(mktemp -d)
+PIDS=()
+
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+say()  { printf '\n== %s\n' "$*"; }
+fail() { printf 'FAIL: %s\n' "$*" >&2; exit 1; }
+
+say "building"
+go build -o "$DIR/bearserve" ./cmd/bearserve
+go build -o "$DIR/bearfront" ./cmd/bearfront
+
+say "booting 3 shards + front"
+for port in $S1 $S2 $S3; do
+    "$DIR/bearserve" -addr "127.0.0.1:$port" >"$DIR/shard-$port.log" 2>&1 &
+    PIDS+=($!)
+done
+"$DIR/bearfront" -addr "127.0.0.1:$FRONT_PORT" \
+    -shard "a=http://127.0.0.1:$S1" \
+    -shard "b=http://127.0.0.1:$S2" \
+    -shard "c=http://127.0.0.1:$S3" \
+    -replicas 2 \
+    -probe-interval 250ms -probe-failures 2 -eject-duration 1s \
+    >"$DIR/front.log" 2>&1 &
+FRONT_PID=$!
+PIDS+=("$FRONT_PID")
+
+wait_200() { # url [tries]
+    local url=$1 tries=${2:-50}
+    for _ in $(seq "$tries"); do
+        if [ "$(curl -s -o /dev/null -w '%{http_code}' "$url")" = 200 ]; then return 0; fi
+        sleep 0.2
+    done
+    return 1
+}
+for port in $S1 $S2 $S3 $FRONT_PORT; do
+    wait_200 "http://127.0.0.1:$port/healthz" || fail "port $port never became live"
+done
+
+FRONT="http://127.0.0.1:$FRONT_PORT"
+
+say "uploading a replicated graph through the front"
+printf '0 1\n1 2\n2 3\n3 0\n1 3\n' >"$DIR/edges.txt"
+code=$(curl -s -o "$DIR/put.json" -w '%{http_code}' -X PUT --data-binary @"$DIR/edges.txt" "$FRONT/v1/graphs/smoke")
+[ "$code" = 201 ] || fail "PUT via front returned $code: $(cat "$DIR/put.json")"
+
+say "query and batch through the front"
+code=$(curl -s -o "$DIR/q.json" -w '%{http_code}' "$FRONT/v1/graphs/smoke/query?seed=0&top=3")
+[ "$code" = 200 ] || fail "query via front returned $code"
+grep -q '"scores"\|"top"\|"node"' "$DIR/q.json" || fail "query response looks empty: $(cat "$DIR/q.json")"
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+    -d '{"seeds":[0,1],"top":3}' "$FRONT/v1/graphs/smoke/batch")
+[ "$code" = 200 ] || fail "batch via front returned $code"
+
+say "placement + cluster status"
+curl -s "$FRONT/v1/cluster/status?graph=smoke" | tee "$DIR/status.json" | grep -q '"replication":2' \
+    || fail "cluster status missing replication"
+grep -q '"state":"healthy"' "$DIR/status.json" || fail "no healthy shards in status"
+
+say "killing one replica of the graph"
+# The first replica in the placement list; map its ID (a/b/c) to a port.
+primary_id=$(sed 's/.*"replicas":\["\([^"]*\)".*/\1/' "$DIR/status.json")
+case $primary_id in
+    a) VICTIM_PORT=$S1 ;;
+    b) VICTIM_PORT=$S2 ;;
+    c) VICTIM_PORT=$S3 ;;
+    *) fail "could not parse primary replica from status: $(cat "$DIR/status.json")" ;;
+esac
+VICTIM_PID=$(pgrep -f "bearserve -addr 127.0.0.1:$VICTIM_PORT")
+kill -9 "$VICTIM_PID"
+echo "killed shard $primary_id (port $VICTIM_PORT, pid $VICTIM_PID)"
+
+say "replicated graph must keep answering (failover)"
+for i in $(seq 20); do
+    code=$(curl -s -o /dev/null -w '%{http_code}' "$FRONT/v1/graphs/smoke/query?seed=$((i % 4))&top=3")
+    [ "$code" = 200 ] || fail "query $i after shard kill returned $code"
+done
+echo "20/20 queries answered 200 with one replica dead"
+
+say "waiting for the front to eject the dead shard"
+ejected=""
+for _ in $(seq 40); do
+    if curl -s "$FRONT/metrics" | grep -q "bear_front_ejections_total{shard=\"$primary_id\"}"; then
+        ejected=yes; break
+    fi
+    sleep 0.25
+done
+[ -n "$ejected" ] || fail "ejection never appeared in /metrics"
+curl -s "$FRONT/metrics" | grep -E 'bear_front_(ejections_total|shard_healthy|failovers_total)' | sed 's/^/  /'
+
+say "restarting the shard and repairing"
+"$DIR/bearserve" -addr "127.0.0.1:$VICTIM_PORT" >"$DIR/shard-$VICTIM_PORT-restarted.log" 2>&1 &
+PIDS+=($!)
+wait_200 "http://127.0.0.1:$VICTIM_PORT/healthz" || fail "restarted shard never came up"
+# The restarted shard is empty; repair re-pushes the graph to it.
+code=$(curl -s -o "$DIR/repair.json" -w '%{http_code}' -X POST "$FRONT/v1/cluster/repair?graph=smoke")
+[ "$code" = 200 ] || fail "repair returned $code: $(cat "$DIR/repair.json")"
+grep -q '"ok":true' "$DIR/repair.json" || fail "repair pushed nothing: $(cat "$DIR/repair.json")"
+wait_200 "http://127.0.0.1:$VICTIM_PORT/readyz" || fail "repaired shard never became ready"
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$VICTIM_PORT/v1/graphs/smoke")
+[ "$code" = 200 ] || fail "repaired shard does not hold the graph"
+
+say "cluster smoke: PASS"

@@ -116,6 +116,10 @@ func (s *Server) WriteSnapshot(w io.Writer) error {
 // WriteSnapshot, replacing all currently registered graphs. On any error
 // the existing registry is left untouched.
 func (s *Server) ReadSnapshot(r io.Reader) error {
+	// Flag the restore for GET /readyz: a router drains this instance
+	// until the registry swap below lands (or the restore fails).
+	s.restoring.Store(true)
+	defer s.restoring.Store(false)
 	cr := &crcCountReader{r: bufio.NewReader(r)}
 	var got [8]byte
 	if _, err := io.ReadFull(cr, got[:]); err != nil {

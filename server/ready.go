@@ -1,0 +1,67 @@
+package server
+
+import "net/http"
+
+// Liveness vs readiness: /healthz answers 200 whenever the process can
+// serve HTTP at all — it bypasses admission control so probes work under
+// overload, and a load balancer using it only restarts truly dead
+// processes. /readyz is the stricter signal a traffic router wants: it
+// answers 200 only when this instance can actually answer queries (at
+// least one graph registered and no snapshot restore mid-swap), so a
+// coordinator ejects a rebuilding or still-restoring shard instead of
+// timing out on it. Per-graph rebuild state rides along in the body —
+// a background rebuild does NOT unready the shard (queries keep serving
+// the pre-rebuild snapshot) but routers may prefer replicas that are not
+// rebuilding.
+
+// GraphReadiness is one graph's slice of the readiness report.
+type GraphReadiness struct {
+	Rebuilding bool `json:"rebuilding"`
+	Pending    int  `json:"pending_updates"`
+}
+
+// ReadyReport is the GET /readyz body. Status is "ready", "empty" (no
+// graphs registered), or "restoring" (a snapshot restore is replacing the
+// registry); only "ready" comes with HTTP 200.
+type ReadyReport struct {
+	Status string                    `json:"status"`
+	Graphs map[string]GraphReadiness `json:"graphs"`
+}
+
+// Readiness computes the current readiness report.
+func (s *Server) Readiness() ReadyReport {
+	rep := ReadyReport{Status: "ready", Graphs: map[string]GraphReadiness{}}
+	if s.restoring.Load() {
+		rep.Status = "restoring"
+	}
+	s.mu.RLock()
+	entries := make(map[string]*entry, len(s.graphs))
+	for name, e := range s.graphs {
+		entries[name] = e
+	}
+	s.mu.RUnlock()
+	if len(entries) == 0 && rep.Status == "ready" {
+		rep.Status = "empty"
+	}
+	// Readiness of each graph is read outside s.mu: RebuildInProgress and
+	// PendingNodes take the Dynamic's own lock, never the registry's.
+	for name, e := range entries {
+		rep.Graphs[name] = GraphReadiness{
+			Rebuilding: e.dyn.RebuildInProgress(),
+			Pending:    e.dyn.PendingNodes(),
+		}
+	}
+	return rep
+}
+
+// handleReady serves GET /readyz. Like /healthz it bypasses admission
+// control, so a saturated-but-working shard still reports ready instead
+// of being ejected for slowness it is already shedding.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	rep := s.Readiness()
+	status := http.StatusOK
+	if rep.Status != "ready" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, rep)
+}

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"bear"
+)
+
+func readyGraph(t *testing.T) *bear.Graph {
+	t.Helper()
+	g := bear.GenerateCavemanHubs(bear.CavemanHubsConfig{
+		Communities: 4, Size: 8, PIntra: 0.5, Hubs: 2, HubDeg: 6, Seed: 7,
+	})
+	return g
+}
+
+func TestReadyzLifecycle(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Empty registry: alive but not ready.
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	var rep ReadyReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatalf("decoding readiness: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || rep.Status != "empty" {
+		t.Fatalf("empty server readyz = %d %q, want 503 empty", resp.StatusCode, rep.Status)
+	}
+
+	// Liveness stays green throughout.
+	if hr, err := http.Get(ts.URL + "/healthz"); err != nil || hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz on empty server = %v %v, want 200", hr, err)
+	} else {
+		hr.Body.Close()
+	}
+
+	if err := s.Add("g", readyGraph(t), bear.Options{}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	rep = ReadyReport{}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatalf("decoding readiness: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rep.Status != "ready" {
+		t.Fatalf("readyz after Add = %d %q, want 200 ready", resp.StatusCode, rep.Status)
+	}
+	gr, ok := rep.Graphs["g"]
+	if !ok {
+		t.Fatal("readiness report missing graph g")
+	}
+	if gr.Rebuilding || gr.Pending != 0 {
+		t.Fatalf("fresh graph readiness = %+v, want idle", gr)
+	}
+}
+
+func TestReadyzReportsPendingUpdates(t *testing.T) {
+	s := New()
+	s.RebuildThreshold = 0 // no auto-rebuild; pending updates accumulate
+	if err := s.Add("g", readyGraph(t), bear.Options{}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	e, _ := s.lookup("g")
+	if err := e.dyn.AddEdge(0, 5, 1); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	rep := s.Readiness()
+	if rep.Status != "ready" {
+		t.Fatalf("status = %q, want ready (pending updates do not unready)", rep.Status)
+	}
+	if rep.Graphs["g"].Pending == 0 {
+		t.Fatal("readiness should report pending updates")
+	}
+}
+
+func TestReadyzDuringRestore(t *testing.T) {
+	s := New()
+	if err := s.Add("g", readyGraph(t), bear.Options{}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	var snap bytes.Buffer
+	if err := s.WriteSnapshot(&snap); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+
+	// A reader that checks readiness mid-restore, while ReadSnapshot is
+	// still consuming it.
+	probe := &readinessProbeReader{r: bytes.NewReader(snap.Bytes()), s: s}
+	if err := s.ReadSnapshot(probe); err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if !probe.sawRestoring {
+		t.Fatal("readyz never reported restoring during ReadSnapshot")
+	}
+	if rep := s.Readiness(); rep.Status != "ready" {
+		t.Fatalf("status after restore = %q, want ready", rep.Status)
+	}
+}
+
+type readinessProbeReader struct {
+	r            io.Reader
+	s            *Server
+	sawRestoring bool
+}
+
+func (p *readinessProbeReader) Read(b []byte) (int, error) {
+	if p.s.Readiness().Status == "restoring" {
+		p.sawRestoring = true
+	}
+	return p.r.Read(b)
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	src := New()
+	if err := src.Add("g", readyGraph(t), bear.Options{}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	srcTS := httptest.NewServer(src.Handler())
+	defer srcTS.Close()
+
+	resp, err := http.Get(srcTS.URL + "/v1/graphs/g/export")
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("export = %d, %v", resp.StatusCode, err)
+	}
+
+	dst := New()
+	dstTS := httptest.NewServer(dst.Handler())
+	defer dstTS.Close()
+	req, _ := http.NewRequest(http.MethodPut, dstTS.URL+"/v1/graphs/g/import", bytes.NewReader(blob))
+	ir, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	defer ir.Body.Close()
+	if ir.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(ir.Body)
+		t.Fatalf("import = %d: %s", ir.StatusCode, body)
+	}
+
+	// The imported graph answers queries identically to the source.
+	se, _ := src.lookup("g")
+	de, _ := dst.lookup("g")
+	want, err := se.dyn.Query(3)
+	if err != nil {
+		t.Fatalf("source query: %v", err)
+	}
+	got, err := de.dyn.Query(3)
+	if err != nil {
+		t.Fatalf("imported query: %v", err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("score[%d] differs after import: %g vs %g", i, want[i], got[i])
+		}
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/graphs/g/import", bytes.NewReader([]byte("not a state blob")))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage import = %d, want 400", resp.StatusCode)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bear"
@@ -102,6 +103,11 @@ type Server struct {
 	flight      resultcache.Flight
 	metricsOnce sync.Once
 	srvMetrics  *serverMetrics
+
+	// restoring is set while ReadSnapshot replaces the registry, flipping
+	// GET /readyz to "restoring" so traffic routers drain this instance
+	// instead of racing the swap.
+	restoring atomic.Bool
 }
 
 type entry struct {
@@ -127,11 +133,14 @@ func New() *Server {
 
 // Handler returns the HTTP routes:
 //
-//	GET    /healthz
+//	GET    /healthz                   (liveness: the process serves HTTP)
+//	GET    /readyz                    (readiness: ≥1 graph loaded, not mid-restore)
 //	GET    /v1/graphs
 //	PUT    /v1/graphs/{name}?c=&drop=&laplacian=   (body: edge list or MatrixMarket)
 //	GET    /v1/graphs/{name}
 //	DELETE /v1/graphs/{name}
+//	GET    /v1/graphs/{name}/export   (stream the graph's dynamic state blob)
+//	PUT    /v1/graphs/{name}/import   (register a graph from an exported blob)
 //	GET    /v1/graphs/{name}/query?seed=&top=&ei=&refine=
 //	GET    /v1/graphs/{name}/accuracy?k=&tol=   (sampled residual/cosine self-check)
 //	GET    /v1/graphs/{name}/pagerank?top=
@@ -152,14 +161,17 @@ func New() *Server {
 // requires no pending updates).
 //
 // All /v1 routes run behind admission control (503 + Retry-After under
-// overload) and panic recovery; /healthz and /metrics bypass admission so
-// probes and scrapes answer even when the server is saturated.
+// overload) and panic recovery; /healthz, /readyz, and /metrics bypass
+// admission so probes and scrapes answer even when the server is
+// saturated.
 func (s *Server) Handler() http.Handler {
 	api := http.NewServeMux()
 	api.HandleFunc("GET /v1/graphs", s.instrument("list", s.handleList))
 	api.HandleFunc("PUT /v1/graphs/{name}", s.instrument("put", s.handlePut))
 	api.HandleFunc("GET /v1/graphs/{name}", s.instrument("graph_stats", s.handleStats))
 	api.HandleFunc("DELETE /v1/graphs/{name}", s.instrument("delete", s.handleDelete))
+	api.HandleFunc("GET /v1/graphs/{name}/export", s.instrument("export", s.handleExport))
+	api.HandleFunc("PUT /v1/graphs/{name}/import", s.instrument("import", s.handleImport))
 	api.HandleFunc("GET /v1/graphs/{name}/query", s.instrument("query", s.handleQuery))
 	api.HandleFunc("GET /v1/graphs/{name}/accuracy", s.instrument("accuracy", s.handleAccuracy))
 	api.HandleFunc("GET /v1/graphs/{name}/pagerank", s.instrument("pagerank", s.handlePageRank))
@@ -174,6 +186,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	if s.EnableMetrics {
 		mux.HandleFunc("GET /metrics", s.handleMetrics)
 	}

@@ -485,16 +485,60 @@ func (c *Client) ReplaceNode(ctx context.Context, name string, u int, dst []int,
 	return c.edgeOp(ctx, name, map[string]interface{}{"op": "replace", "u": u, "dst": dst, "weights": weights})
 }
 
-// Rebuild folds pending updates into a fresh preprocessing pass.
+// RebuildResult reports how a synchronous rebuild ran: the path the
+// server chose, why auto mode fell back to a full pass (if it did), and
+// how much of the block structure was re-factored.
+type RebuildResult struct {
+	// Mode is the path that ran ("full" or "incremental"); Requested is
+	// the mode the call asked for ("auto", "full", or "incremental").
+	Mode      string `json:"mode"`
+	Requested string `json:"requested"`
+	// FallbackReason is set when an auto-mode rebuild declined the
+	// incremental path: no_pending, no_cache, drop_tol, laplacian,
+	// hub_dirty, cross_block, churn, or fill_ratio.
+	FallbackReason   string  `json:"fallback_reason"`
+	DirtyNodes       int     `json:"dirty_nodes"`
+	BlocksRefactored int     `json:"blocks_refactored"`
+	TotalBlocks      int     `json:"total_blocks"`
+	RebuildMs        float64 `json:"rebuild_ms"`
+}
+
+// Rebuild folds pending updates into fresh precomputed matrices in auto
+// mode: incremental when the updates qualify, full otherwise.
 func (c *Client) Rebuild(ctx context.Context, name string) error {
-	return c.do(ctx, http.MethodPost, "/v1/graphs/"+url.PathEscape(name)+"/rebuild", nil, false, nil)
+	_, err := c.RebuildMode(ctx, name, "")
+	return err
+}
+
+// RebuildMode is Rebuild with an explicit mode ("auto", "full", or
+// "incremental"; "" means auto) and the server's report of what ran. An
+// explicit "incremental" request the pending updates disqualify fails
+// with a 409 naming the reason instead of silently running a full pass.
+func (c *Client) RebuildMode(ctx context.Context, name, mode string) (RebuildResult, error) {
+	path := "/v1/graphs/" + url.PathEscape(name) + "/rebuild"
+	if mode != "" {
+		path += "?mode=" + url.QueryEscape(mode)
+	}
+	var out RebuildResult
+	err := c.do(ctx, http.MethodPost, path, nil, false, &out)
+	return out, err
 }
 
 // RebuildAsync starts a background rebuild and returns immediately;
 // queries keep serving the pre-rebuild state until the swap lands. Poll
 // Stats until Rebuilding turns false and Pending drains to see it finish.
 func (c *Client) RebuildAsync(ctx context.Context, name string) error {
-	return c.do(ctx, http.MethodPost, "/v1/graphs/"+url.PathEscape(name)+"/rebuild?async=1", nil, false, nil)
+	return c.RebuildAsyncMode(ctx, name, "")
+}
+
+// RebuildAsyncMode is RebuildAsync with an explicit rebuild mode ("" means
+// auto).
+func (c *Client) RebuildAsyncMode(ctx context.Context, name, mode string) error {
+	path := "/v1/graphs/" + url.PathEscape(name) + "/rebuild?async=1"
+	if mode != "" {
+		path += "&mode=" + url.QueryEscape(mode)
+	}
+	return c.do(ctx, http.MethodPost, path, nil, false, nil)
 }
 
 // Snapshot asks the server to persist its registry to its configured

@@ -134,6 +134,21 @@ func TestClientUpdates(t *testing.T) {
 	if err != nil || stats.Pending != 0 {
 		t.Fatalf("Stats after rebuild: %+v %v", stats, err)
 	}
+
+	// Mode-aware rebuilds surface the server's report: forcing full always
+	// works, and the choices are echoed back.
+	res, err := c.RebuildMode(ctx, "g", "full")
+	if err != nil || res.Mode != "full" || res.Requested != "full" {
+		t.Fatalf("RebuildMode(full): %+v %v", res, err)
+	}
+	// Auto with nothing pending records the no_pending fallback.
+	res, err = c.RebuildMode(ctx, "g", "auto")
+	if err != nil || res.Mode != "full" || res.FallbackReason != "no_pending" {
+		t.Fatalf("RebuildMode(auto): %+v %v", res, err)
+	}
+	if _, err := c.RebuildMode(ctx, "g", "sideways"); err == nil {
+		t.Fatal("RebuildMode accepted an invalid mode")
+	}
 }
 
 func TestClientUploadOptions(t *testing.T) {

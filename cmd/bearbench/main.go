@@ -40,7 +40,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		bars   = fs.Bool("bars", false, "also draw log-scale bar charts like the paper's figures")
 		list   = fs.Bool("list", false, "list experiments and exit")
 
-		baseline = fs.String("baseline", "", "with -exp kernels: regression-gate mode, comparing measured speedups against the baselines in this BENCH_kernels.json (fails on >20% regression)")
+		baseline = fs.String("baseline", "", "with -exp kernels or -exp rebuild: regression-gate mode, comparing measured speedups against the baselines in this BENCH_*.json (fails on >20% regression)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,13 +55,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	cfg := bench.Config{Scale: *scale, Budget: *budget, QuerySeeds: *seeds, Seed: *seed}
 	if *baseline != "" {
-		if *exp != "kernels" {
-			return fmt.Errorf("-baseline only applies to -exp kernels")
+		var check func(bench.Config, string) error
+		switch *exp {
+		case "kernels":
+			check = bench.CheckKernels
+		case "rebuild":
+			check = bench.CheckRebuild
+		default:
+			return fmt.Errorf("-baseline only applies to -exp kernels or -exp rebuild")
 		}
-		if err := bench.CheckKernels(cfg, *baseline); err != nil {
-			return fmt.Errorf("kernel regression gate: %w", err)
+		if err := check(cfg, *baseline); err != nil {
+			return fmt.Errorf("%s regression gate: %w", *exp, err)
 		}
-		fmt.Fprintf(stdout, "kernel regression gate passed against %s\n", *baseline)
+		fmt.Fprintf(stdout, "%s regression gate passed against %s\n", *exp, *baseline)
 		return nil
 	}
 	var exps []bench.Experiment

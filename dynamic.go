@@ -12,6 +12,12 @@ import (
 // throughout, so the caller can simply retry later.
 var ErrRebuildInProgress = core.ErrRebuildInProgress
 
+// ErrIncrementalNotApplicable is returned when an explicitly requested
+// incremental rebuild is disqualified by the pending updates (hub dirtied,
+// churn over threshold, cross-block edge, missing rebuild cache, …); the
+// error message names the reason. RebuildAuto falls back instead.
+var ErrIncrementalNotApplicable = core.ErrIncrementalNotApplicable
+
 // Dynamic wraps a preprocessed graph for incremental edge updates — the
 // paper's stated future-work direction. Changing the out-edges of k nodes
 // since the last preprocessing is a rank-k modification of the system
@@ -36,3 +42,34 @@ func NewDynamicCtx(ctx context.Context, g *Graph, opts Options) (*Dynamic, error
 // verifying the file's integrity footer. The restored instance answers
 // queries bit-identically to the saved one, pending updates included.
 func LoadDynamic(r io.Reader) (*Dynamic, error) { return core.LoadDynamic(r) }
+
+// RebuildMode selects how RebuildCtx folds pending updates into fresh
+// precomputed matrices: a full Algorithm-1 pass, an incremental
+// dirty-block rebuild, or automatic selection with fallback.
+type RebuildMode = core.RebuildMode
+
+const (
+	// RebuildAuto rebuilds incrementally when the pending updates qualify
+	// (spoke-only churn within policy thresholds) and falls back to a full
+	// pass otherwise, recording the reason in the RebuildReport.
+	RebuildAuto = core.RebuildAuto
+	// RebuildFull always re-runs the whole preprocessing pass, including a
+	// fresh SlashBurn ordering.
+	RebuildFull = core.RebuildFull
+	// RebuildIncremental requires the dirty-block path and errors when the
+	// pending updates disqualify it.
+	RebuildIncremental = core.RebuildIncremental
+)
+
+// ParseRebuildMode validates a rebuild-mode string; the empty string
+// selects RebuildAuto.
+func ParseRebuildMode(s string) (RebuildMode, error) { return core.ParseRebuildMode(s) }
+
+// RebuildPolicy bounds when RebuildAuto takes the incremental path; see
+// Dynamic.SetRebuildPolicy.
+type RebuildPolicy = core.RebuildPolicy
+
+// RebuildReport describes one completed rebuild: the path that ran, the
+// fallback reason if auto mode declined the incremental path, and the
+// per-stage timing split. Dynamic.LastRebuild returns the most recent one.
+type RebuildReport = core.RebuildReport

@@ -421,3 +421,69 @@ func TestFrontReadyz(t *testing.T) {
 		t.Fatalf("all-ejected front readyz: %d, want 503", rec.Code)
 	}
 }
+
+// TestProxyRebuildFanOut covers the rebuild mutation path end to end
+// through the front: the ?mode= selector must survive the fan-out to
+// every placement replica, per-replica outcomes must be reported, and a
+// replica failing mid-rebuild must flag the response partial rather than
+// failing or hiding the miss.
+func TestProxyRebuildFanOut(t *testing.T) {
+	shards := bootShards(t, 3)
+	c := newFront(t, Config{Shards: shards, Replication: 2})
+
+	if rec := doFront(c, http.MethodPut, "/v1/graphs/g", edgeList); rec.Code != http.StatusCreated {
+		t.Fatalf("PUT: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// An invalid mode is an agreed 400 from every replica — which proves
+	// the ?mode= query string reaches the shards through the fan-out.
+	if rec := doFront(c, http.MethodPost, "/v1/graphs/g/rebuild?mode=sideways", ""); rec.Code != http.StatusBadRequest {
+		t.Fatalf("mode=sideways: %d %s, want agreed 400", rec.Code, rec.Body.String())
+	}
+
+	// Dirty a node on every replica, then force a full rebuild through
+	// the front: both placement replicas must run it and report success.
+	if rec := doFront(c, http.MethodPost, "/v1/graphs/g/edges", `{"op":"add","u":0,"v":2,"w":1}`); rec.Code != http.StatusOK {
+		t.Fatalf("edges: %d %s", rec.Code, rec.Body.String())
+	}
+	rec := doFront(c, http.MethodPost, "/v1/graphs/g/rebuild?mode=full", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("rebuild through front: %d %s", rec.Code, rec.Body.String())
+	}
+	outcomes := rec.Result().Header["X-Replica-Outcome"]
+	if len(outcomes) != 2 {
+		t.Fatalf("want 2 X-Replica-Outcome headers, got %v", outcomes)
+	}
+	for _, o := range outcomes {
+		if !strings.Contains(o, "=200") {
+			t.Fatalf("outcome %q is not a success; all = %v", o, outcomes)
+		}
+	}
+	var rep struct {
+		Mode      string `json:"mode"`
+		Requested string `json:"requested"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil || rep.Mode != "full" || rep.Requested != "full" {
+		t.Fatalf("forwarded rebuild body = %s (err %v), want mode/requested full", rec.Body.String(), err)
+	}
+
+	// Break one replica: the rebuild still succeeds on the other, and the
+	// response says exactly who missed it.
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"induced"}`, http.StatusInternalServerError)
+	}))
+	t.Cleanup(broken.Close)
+	secondary := c.Replicas("g")[1]
+	c.byID[secondary].base = broken.URL
+
+	rec = doFront(c, http.MethodPost, "/v1/graphs/g/rebuild?mode=full", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("partial rebuild: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("X-Degraded") != "partial" {
+		t.Fatalf("want X-Degraded: partial, got %q", rec.Header().Get("X-Degraded"))
+	}
+	if joined := strings.Join(rec.Result().Header["X-Replica-Outcome"], " "); !strings.Contains(joined, secondary+"=500") {
+		t.Fatalf("outcome headers %q must show the 500 from %s", joined, secondary)
+	}
+}

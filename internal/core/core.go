@@ -73,6 +73,17 @@ type Options struct {
 	// extra copy of |H| ≈ |E| nonzeros in memory and in the precompute
 	// file.
 	KeepH bool
+	// RetainRebuildCache keeps the Schur-assembly intermediates
+	// (U₁⁻¹L₁⁻¹H₁₂ and H₂₂, in the final hub order) alongside the factors,
+	// which is what the incremental rebuild path needs to patch
+	// S = H₂₂ − H₂₁·(U₁⁻¹L₁⁻¹H₁₂) without re-running the full assembly.
+	// Dynamic forces it on for its own preprocessing passes; static
+	// consumers leave it off and pay no extra memory. The cache is derived
+	// state: it is never serialized (a loaded index falls back to one full
+	// rebuild, which repopulates it) and never counted by Bytes(). It is
+	// only retained for exact indexes (DropTol == 0) on the row-normalized
+	// transition matrix — the two preconditions of incremental rebuilds.
+	RetainRebuildCache bool
 	// Kernel selects the query-time kernel layout (internal/sparse/kernel):
 	// "" or "auto" picks per matrix (the dense-run hybrid for
 	// block-diagonal spoke factors, baseline CSR otherwise); "csr",
@@ -158,6 +169,14 @@ type Precomputed struct {
 	// batchPool recycles multi-RHS batch workspaces; see
 	// AcquireBatchWorkspace.
 	batchPool sync.Pool
+
+	// incr caches the Schur-assembly intermediates the incremental rebuild
+	// path patches instead of recomputing: t2 = U₁⁻¹L₁⁻¹H₁₂ (n₁×n₂, rows
+	// partitioned by the diagonal blocks of H₁₁) and h22 (n₂×n₂), both in
+	// the final hub order. Retained only when preprocessing ran with
+	// Options.RetainRebuildCache on an exact, row-normalized index; nil
+	// otherwise (and after Load — the cache is derived, never serialized).
+	incr *rebuildCache
 
 	// kern holds the kernel-layer views of the factor matrices through
 	// which every query-time product runs; layouts are chosen by
@@ -348,13 +367,13 @@ func preprocessCtx(ctx context.Context, g *graph.Graph, opts Options) (*Precompu
 
 	// Line 6: Schur complement S = H₂₂ − H₂₁ U₁⁻¹ L₁⁻¹ H₁₂.
 	tschur := time.Now()
-	var s *sparse.CSR
+	var s, t2 *sparse.CSR
 	if p.N2 > 0 {
 		t1 := sparse.ParallelMul(l1inv, h12, workers)
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: preprocessing aborted during Schur assembly: %w", err)
 		}
-		t2 := sparse.ParallelMul(u1inv, t1, workers)
+		t2 = sparse.ParallelMul(u1inv, t1, workers)
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: preprocessing aborted during Schur assembly: %w", err)
 		}
@@ -369,8 +388,9 @@ func preprocessCtx(ctx context.Context, g *graph.Graph, opts Options) (*Precompu
 	}
 
 	// Line 7: reorder hubs in ascending order of degree within S.
+	var hubPerm []int
 	if p.N2 > 1 && !opts.NoHubOrder {
-		hubPerm := hubDegreeOrder(s)
+		hubPerm = hubDegreeOrder(s)
 		s = s.Permute(hubPerm, hubPerm)
 		h12 = h12.Permute(nil, hubPerm)
 		h21 = h21.Permute(hubPerm, nil)
@@ -400,6 +420,24 @@ func preprocessCtx(ctx context.Context, g *graph.Graph, opts Options) (*Precompu
 		u2inv = u2inv.Drop(opts.DropTol)
 		h12 = h12.Drop(opts.DropTol)
 		h21 = h21.Drop(opts.DropTol)
+	}
+
+	// Retain the Schur-assembly intermediates for incremental rebuilds.
+	// t2 and h22 were formed before the line-7 hub reorder, so their hub
+	// axes are mapped into the final order here. A column permutation of
+	// the right operand of a sparse product reorders output entries, never
+	// the per-entry accumulation order, so the cached t2 is bit-identical
+	// to recomputing it from the reordered H₁₂ — the property the
+	// incremental-vs-pinned-full equivalence test pins down.
+	if opts.RetainRebuildCache && opts.DropTol == 0 && !opts.Laplacian {
+		rc := &rebuildCache{t2: t2, h22: h22}
+		if p.N2 == 0 {
+			rc.t2 = sparse.NewCSR(n1, 0, nil)
+		} else if hubPerm != nil {
+			rc.t2 = t2.Permute(nil, hubPerm)
+			rc.h22 = h22.Permute(hubPerm, hubPerm)
+		}
+		p.incr = rc
 	}
 
 	// Retain the exact permuted operator if asked. Built from the original

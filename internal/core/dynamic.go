@@ -66,6 +66,14 @@ type Dynamic struct {
 	capMat *dense.Matrix // (I_k + Eᵀ H⁻¹ W)⁻¹
 	hw     [][]float64   // columns of H⁻¹ W, indexed like dirty
 
+	// hwByNode persists solved H⁻¹W columns across update batches: column
+	// u depends only on u's own delta against the base, so another node
+	// going dirty invalidates the capacitance matrix but not the solved
+	// columns. refreshWoodbury then solves only the columns that are
+	// actually new. Entries die with their delta: markDirty(u) evicts u's
+	// column, and a rebuild swap clears the map (new base, new H⁻¹).
+	hwByNode map[int][]float64
+
 	// Rebuild-in-flight state. While a rebuild preprocesses a snapshot of
 	// the current graph outside the lock, queries keep serving the old
 	// precomputed matrices (Woodbury-corrected through dirty as usual) and
@@ -79,6 +87,14 @@ type Dynamic struct {
 	// accepted update and every rebuild swap increments it. Result caches
 	// key on it — see Epoch.
 	epoch uint64
+
+	// Incremental-rebuild bookkeeping: the auto-mode thresholds, the last
+	// completed rebuild's report, and the precomputed NNZ as of the last
+	// full build (the fill-ratio baseline — incremental rebuilds reuse a
+	// stale ordering, so their factors may slowly densify).
+	policy      RebuildPolicy
+	lastRebuild *RebuildReport
+	lastFullNNZ int64
 }
 
 // NewDynamic preprocesses g and wraps it for incremental updates.
@@ -89,11 +105,16 @@ func NewDynamic(g *graph.Graph, opts Options) (*Dynamic, error) {
 // NewDynamicCtx is NewDynamic honoring cancellation on ctx during the
 // initial preprocessing pass (see PreprocessCtx).
 func NewDynamicCtx(ctx context.Context, g *graph.Graph, opts Options) (*Dynamic, error) {
+	// A Dynamic exists to be updated and rebuilt, so always retain the
+	// Schur-assembly cache that makes incremental rebuilds possible
+	// (preprocessCtx still skips it when the index shape disqualifies the
+	// incremental path, e.g. DropTol > 0).
+	opts.RetainRebuildCache = true
 	p, err := PreprocessCtx(ctx, g, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Dynamic{base: g, curCache: g, p: p, opts: opts}, nil
+	return &Dynamic{base: g, curCache: g, p: p, opts: opts, lastFullNNZ: p.NNZ()}, nil
 }
 
 // Precomputed returns the underlying BEAR state (reflecting the graph as
@@ -312,6 +333,7 @@ func (d *Dynamic) RemoveEdge(u, v int) error {
 func (d *Dynamic) markDirty(u int) {
 	d.epoch++
 	d.capMat, d.hw = nil, nil
+	delete(d.hwByNode, u) // u's delta changed; other columns stay valid
 	// A node whose row went back to its base contents could be dropped
 	// here; detecting that costs a row comparison and the win is rare, so
 	// the node simply stays dirty until the next Rebuild.
@@ -332,66 +354,6 @@ func insertSorted(s []int, u int) []int {
 	copy(s[i+1:], s[i:])
 	s[i] = u
 	return s
-}
-
-// Rebuild folds all accepted updates into a fresh preprocessing pass,
-// resetting the per-query update cost to zero. The expensive preprocessing
-// runs outside the lock against an immutable snapshot of the current
-// graph, so queries and updates keep flowing while it runs: queries are
-// answered exactly from the old matrices (Woodbury-corrected), and nodes
-// updated during the rebuild window simply stay dirty — relative to the
-// new base — after the atomic swap. Only one rebuild may run at a time;
-// concurrent calls fail fast with ErrRebuildInProgress.
-func (d *Dynamic) Rebuild() error {
-	return d.RebuildCtx(context.Background())
-}
-
-// RebuildCtx is Rebuild honoring cancellation on ctx: the preprocessing
-// pass aborts between Algorithm-1 stages (see PreprocessCtx), the old
-// state stays committed, and the context's error is returned wrapped.
-func (d *Dynamic) RebuildCtx(ctx context.Context) error {
-	d.mu.Lock()
-	if d.rebuilding {
-		d.mu.Unlock()
-		return ErrRebuildInProgress
-	}
-	d.rebuilding = true
-	d.sinceSnap = nil
-	snap := d.materializeLocked() // immutable; updates swap in a fresh cache
-	d.mu.Unlock()
-
-	p, err := PreprocessCtx(ctx, snap, d.opts)
-
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.rebuilding = false
-	if err != nil {
-		d.sinceSnap = nil
-		return err
-	}
-	d.base, d.p = snap, p
-	d.dirty = d.sinceSnap // updates accepted while preprocessing ran
-	d.sinceSnap = nil
-	// Shrink the overlay to the rows still differing from the new base —
-	// exactly the window updates. Overlay rows are complete replacements,
-	// so they stay valid against the new base verbatim, and an existing
-	// curCache still describes the current graph: the swap changed which
-	// base it is expressed against, not its contents.
-	if len(d.dirty) == 0 {
-		d.overlay = nil
-	} else {
-		kept := make(map[int]nodeRow, len(d.dirty))
-		for _, u := range d.dirty {
-			kept[u] = d.overlay[u]
-		}
-		d.overlay = kept
-	}
-	d.capMat, d.hw = nil, nil
-	// The swap changes which Precomputed answers queries (and resets the
-	// Woodbury correction), so cached results must not carry across it even
-	// though the graph itself did not change at this instant.
-	d.epoch++
-	return nil
 }
 
 // Epoch returns a counter that increments on every accepted update and
@@ -438,22 +400,34 @@ func (d *Dynamic) deltaColumn(u int) []float64 {
 	return delta
 }
 
-// refreshWoodbury recomputes the capacitance matrix and the H⁻¹W columns
-// for the current dirty set. Cancellation is checked between the k
-// column solves; a cancelled refresh leaves the cache invalid so the next
-// query redoes it.
+// refreshWoodbury rebuilds the capacitance matrix for the current dirty
+// set, solving H⁻¹W columns only for nodes whose column is not already in
+// the per-node cache — the per-batch cost is O(new dirty nodes) solves
+// plus the k×k capacitance assembly, not O(k) solves. Cancellation is
+// checked between the column solves; a cancelled refresh leaves the batch
+// cache invalid so the next query redoes it (columns solved before the
+// cancellation stay cached).
 func (d *Dynamic) refreshWoodbury(ctx context.Context) error {
 	defer obsv.FromContext(ctx).Start(obsv.SpanWoodburyRefresh).Stop()
 	k := len(d.dirty)
+	if d.hwByNode == nil {
+		d.hwByNode = make(map[int][]float64, k)
+	}
 	d.hw = make([][]float64, k)
 	ws := d.p.AcquireWorkspace()
 	for i, u := range d.dirty {
-		d.hw[i] = make([]float64, d.p.N)
-		if err := d.p.solveToCtx(ctx, d.hw[i], d.deltaColumn(u), ws); err != nil {
+		if col, ok := d.hwByNode[u]; ok {
+			d.hw[i] = col
+			continue
+		}
+		col := make([]float64, d.p.N)
+		if err := d.p.solveToCtx(ctx, col, d.deltaColumn(u), ws); err != nil {
 			d.p.ReleaseWorkspace(ws)
 			d.hw = nil
 			return err
 		}
+		d.hwByNode[u] = col
+		d.hw[i] = col
 	}
 	d.p.ReleaseWorkspace(ws)
 	cap := dense.Identity(k)

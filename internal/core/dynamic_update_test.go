@@ -301,3 +301,85 @@ func FuzzDynamicUpdate(f *testing.F) {
 		}
 	})
 }
+
+// TestWoodburyColumnCacheExact: the per-node H⁻¹W column cache must not
+// change answers — queries interleaved with updates stay exact against a
+// from-scratch preprocess, including after a cached column is evicted by
+// re-updating its node.
+func TestWoodburyColumnCacheExact(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 3, 70)
+	d, err := NewDynamic(g, Options{K: 2})
+	if err != nil {
+		t.Fatalf("NewDynamic: %v", err)
+	}
+	check := func(step string) {
+		t.Helper()
+		got, err := d.Query(5)
+		if err != nil {
+			t.Fatalf("%s: Query: %v", step, err)
+		}
+		if diff := maxAbsDiff(got, freshSolve(t, d.Graph(), 5)); diff > 1e-9 {
+			t.Fatalf("%s: query drifted %g from fresh preprocess", step, diff)
+		}
+	}
+	// Grow the dirty set one node at a time, querying between updates so
+	// each refresh finds all but one column already cached.
+	for i := 0; i < 6; i++ {
+		u := 10 + i*7
+		if err := d.AddEdge(u, (u+3)%150, 1.0+float64(i)); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+		check(fmt.Sprintf("after dirtying node %d", u))
+	}
+	// Re-update an already-dirty node: its cached column is stale and must
+	// be evicted, the other five reused.
+	if err := d.AddEdge(10, 140, 9.5); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	check("after re-updating a dirty node")
+	if len(d.hwByNode) != 6 {
+		t.Fatalf("column cache holds %d entries, want 6", len(d.hwByNode))
+	}
+	// A rebuild swaps the base, so every cached column dies with it.
+	if err := d.Rebuild(); err != nil {
+		t.Fatalf("Rebuild: %v", err)
+	}
+	if len(d.hwByNode) != 0 {
+		t.Fatalf("column cache survived a rebuild with %d entries", len(d.hwByNode))
+	}
+	check("after rebuild")
+}
+
+// BenchmarkWoodburyRefresh pins the marginal cost of one update+query
+// cycle at a standing dirty set of k nodes. With the per-node column
+// cache, each cycle re-solves only the one evicted column (plus the k×k
+// capacitance assembly); without it, every cycle re-solved all k columns.
+func BenchmarkWoodburyRefresh(b *testing.B) {
+	for _, k := range []int{16, 64} {
+		n := 4000
+		g := gen.BarabasiAlbert(n, 4, 71)
+		d, err := NewDynamic(g, Options{})
+		if err != nil {
+			b.Fatalf("NewDynamic: %v", err)
+		}
+		for i := 0; i < k; i++ {
+			if err := d.AddEdge(1+i*53, (2+i*53)%n, 1.5); err != nil {
+				b.Fatalf("AddEdge: %v", err)
+			}
+		}
+		if _, err := d.Query(0); err != nil { // warm the column cache
+			b.Fatalf("Query: %v", err)
+		}
+		b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := d.AddEdge(1, (2+i%5)%n, 1.5+float64(i%2)); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := d.Query(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -165,7 +165,14 @@ func RestoreDynamic(base, cur *graph.Graph, p *Precomputed, dirty []int, opts Op
 			overlay[u] = nodeRow{dst: dst, w: w}
 		}
 	}
-	return &Dynamic{base: base, curCache: cur, overlay: overlay, p: p, opts: opts, dirty: dirty}, nil
+	// Future rebuilds of the restored index should retain the
+	// Schur-assembly cache like a freshly constructed Dynamic would. The
+	// supplied Precomputed itself usually lacks the cache (it is derived
+	// state and never serialized), so the first auto rebuild falls back to
+	// full — recorded as no_cache — and repopulates it.
+	opts.RetainRebuildCache = true
+	return &Dynamic{base: base, curCache: cur, overlay: overlay, p: p, opts: opts, dirty: dirty,
+		lastFullNNZ: p.NNZ()}, nil
 }
 
 // encodeGraph writes a graph exactly: node count, then the destination and

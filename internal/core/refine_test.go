@@ -398,7 +398,7 @@ func TestPreprocessCtxCancellation(t *testing.T) {
 	if err := d.AddEdge(1, 2, 2.5); err != nil {
 		t.Fatalf("AddEdge: %v", err)
 	}
-	if err := d.RebuildCtx(ctx); err == nil {
+	if _, err := d.RebuildCtx(ctx, RebuildAuto); err == nil {
 		t.Fatal("RebuildCtx with cancelled ctx succeeded")
 	} else if !errorsIsCanceled(err) {
 		t.Fatalf("RebuildCtx error %v does not match context.Canceled", err)

@@ -17,6 +17,7 @@ const (
 	SpanBlockLU       = "block_lu"       // line 5: per-block LU of H11 + factor inversion
 	SpanSchurAssembly = "schur_assembly" // line 6: S = H22 − H21 U1⁻¹ L1⁻¹ H12
 	SpanSchurFactor   = "schur_factor"   // line 8: LU of S + factor inversion
+	SpanBlockSplice   = "splice"         // incremental rebuild: splicing fresh block factors into L1⁻¹/U1⁻¹
 
 	// Query phase (Algorithm 2).
 	SpanForwardSolve = "forward_solve" // lines 2-3: t = U1⁻¹ L1⁻¹ b1 (block-restricted for one seed)

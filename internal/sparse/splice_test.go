@@ -1,0 +1,153 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func equalCSR(a, b *CSR) bool {
+	if a.R != b.R || a.C != b.C || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := 0; i <= a.R; i++ {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for k := range a.ColIdx {
+		if a.ColIdx[k] != b.ColIdx[k] || a.Val[k] != b.Val[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSpliceRowsMatchesRebuild checks SpliceRows against the oracle of
+// reassembling the whole matrix from coordinates with the spliced ranges
+// substituted: identical pattern and identical bits.
+func TestSpliceRowsMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 10 + rng.Intn(30)
+		m := randomCSR(rng, n, n, 0.2)
+		// One or two disjoint ranges, each spliced with a block whose
+		// column window sits at the diagonal (the factor-splice shape).
+		var splices []RowSplice
+		lo := rng.Intn(n / 2)
+		sz := 1 + rng.Intn(n/2-lo)
+		splices = append(splices, RowSplice{Lo: lo, ColOffset: lo, Block: randomCSR(rng, sz, sz, 0.4)})
+		if hi := lo + sz; hi < n-1 && rng.Intn(2) == 0 {
+			lo2 := hi + rng.Intn(n-hi-1)
+			sz2 := 1 + rng.Intn(n-lo2)
+			splices = append(splices, RowSplice{Lo: lo2, ColOffset: lo2, Block: randomCSR(rng, sz2, sz2, 0.4)})
+		}
+		got := m.SpliceRows(splices)
+
+		var want []Coord
+		covered := func(i int) (RowSplice, bool) {
+			for _, sp := range splices {
+				if i >= sp.Lo && i < sp.Lo+sp.Block.R {
+					return sp, true
+				}
+			}
+			return RowSplice{}, false
+		}
+		for i := 0; i < n; i++ {
+			if sp, ok := covered(i); ok {
+				bi := i - sp.Lo
+				for k := sp.Block.RowPtr[bi]; k < sp.Block.RowPtr[bi+1]; k++ {
+					want = append(want, Coord{Row: i, Col: sp.Block.ColIdx[k] + sp.ColOffset, Val: sp.Block.Val[k]})
+				}
+				continue
+			}
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				want = append(want, Coord{Row: i, Col: m.ColIdx[k], Val: m.Val[k]})
+			}
+		}
+		if !equalCSR(got, NewCSR(n, n, want)) {
+			t.Fatalf("trial %d: SpliceRows differs from reassembly", trial)
+		}
+	}
+}
+
+func TestSpliceRowsDoesNotMutateReceiver(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomCSR(rng, 12, 12, 0.3)
+	before := m.Clone()
+	m.SpliceRows([]RowSplice{{Lo: 4, ColOffset: 4, Block: randomCSR(rng, 5, 5, 0.5)}})
+	if !equalCSR(m, before) {
+		t.Fatal("SpliceRows mutated its receiver")
+	}
+}
+
+func TestSpliceRowsPanicsOnBadRanges(t *testing.T) {
+	m := randomCSR(rand.New(rand.NewSource(1)), 8, 8, 0.3)
+	for _, splices := range [][]RowSplice{
+		{{Lo: 6, ColOffset: 6, Block: randomCSR(rand.New(rand.NewSource(2)), 4, 4, 0.5)}}, // past the end
+		{{Lo: 2, ColOffset: 2, Block: randomCSR(rand.New(rand.NewSource(2)), 3, 3, 0.5)},
+			{Lo: 3, ColOffset: 3, Block: randomCSR(rand.New(rand.NewSource(2)), 2, 2, 0.5)}}, // overlap
+		{{Lo: 2, ColOffset: 7, Block: randomCSR(rand.New(rand.NewSource(2)), 3, 3, 0.5)}}, // cols out of range
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SpliceRows(%v) did not panic", splices)
+				}
+			}()
+			m.SpliceRows(splices)
+		}()
+	}
+}
+
+// TestReplaceColumnsMatchesRebuild checks ReplaceColumns against full
+// reassembly: entries outside the replaced columns keep their bits,
+// entries inside come solely from the replacement set.
+func TestReplaceColumnsMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		r := 5 + rng.Intn(20)
+		c := 5 + rng.Intn(20)
+		m := randomCSR(rng, r, c, 0.25)
+		var cols []int
+		for j := 0; j < c; j++ {
+			if rng.Float64() < 0.3 {
+				cols = append(cols, j)
+			}
+		}
+		var repl []Coord
+		for _, j := range cols {
+			for i := 0; i < r; i++ {
+				if rng.Float64() < 0.3 {
+					repl = append(repl, Coord{Row: i, Col: j, Val: rng.NormFloat64()})
+				}
+			}
+		}
+		got := m.ReplaceColumns(cols, repl)
+
+		inSet := make(map[int]bool, len(cols))
+		for _, j := range cols {
+			inSet[j] = true
+		}
+		var want []Coord
+		for k, co := range m.Coords() {
+			_ = k
+			if !inSet[co.Col] {
+				want = append(want, co)
+			}
+		}
+		want = append(want, repl...)
+		if !equalCSR(got, NewCSR(r, c, want)) {
+			t.Fatalf("trial %d: ReplaceColumns differs from reassembly", trial)
+		}
+	}
+}
+
+func TestReplaceColumnsPanicsOnStrayEntry(t *testing.T) {
+	m := randomCSR(rand.New(rand.NewSource(5)), 6, 6, 0.4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ReplaceColumns with an entry outside the column set did not panic")
+		}
+	}()
+	m.ReplaceColumns([]int{2}, []Coord{{Row: 1, Col: 3, Val: 1}})
+}

@@ -231,6 +231,54 @@ func (s *Server) exportGraphMetrics(name string, e *entry) {
 		}, g)
 	m.reg.GaugeFunc("bear_precomputed_bytes", "Memory held by the precomputed matrices and permutations.",
 		func() float64 { return float64(dyn.Precomputed().Bytes()) }, g)
+
+	// Last completed rebuild, whichever path it took. Zero until the first
+	// rebuild finishes; incremental rebuilds report zero slashburn time
+	// (the ordering is reused) while splice is nonzero only for them.
+	rstage := func(stageName string, sel func(rep bear.RebuildReport) time.Duration) {
+		m.reg.GaugeFunc("bear_rebuild_stage_seconds",
+			"Stage split of the last completed rebuild (slashburn, block_lu, splice, schur_assembly, schur_factor, total). Incremental rebuilds spend nothing on slashburn; full rebuilds spend nothing on splice.",
+			func() float64 {
+				rep, ok := dyn.LastRebuild()
+				if !ok {
+					return 0
+				}
+				return sel(rep).Seconds()
+			}, g, obsv.L("stage", stageName))
+	}
+	rstage("slashburn", func(rep bear.RebuildReport) time.Duration { return rep.TimeSlashBurn })
+	rstage("block_lu", func(rep bear.RebuildReport) time.Duration { return rep.TimeBlockLU })
+	rstage("splice", func(rep bear.RebuildReport) time.Duration { return rep.TimeSplice })
+	rstage("schur_assembly", func(rep bear.RebuildReport) time.Duration { return rep.TimeSchurAssembly })
+	rstage("schur_factor", func(rep bear.RebuildReport) time.Duration { return rep.TimeSchurFactor })
+	rstage("total", func(rep bear.RebuildReport) time.Duration { return rep.TimeTotal })
+	m.reg.GaugeFunc("bear_rebuild_blocks_refactored",
+		"Diagonal H11 blocks re-factored by the last completed rebuild (all of them for a full pass, only the dirty ones for an incremental).",
+		func() float64 {
+			rep, ok := dyn.LastRebuild()
+			if !ok {
+				return 0
+			}
+			return float64(rep.BlocksRefactored)
+		}, g)
+}
+
+// recordRebuildOutcome counts one completed rebuild by the path that
+// actually ran, and by fallback reason when auto mode declined the
+// incremental path. Called after every successful RebuildCtx driven by
+// the server (sync endpoint or background); label cardinality is bounded
+// because both mode and reason come from closed sets in the engine.
+func (s *Server) recordRebuildOutcome(name string, rep bear.RebuildReport) {
+	m := s.metrics()
+	g := obsv.L("graph", name)
+	m.reg.Counter("bear_rebuild_mode_total",
+		"Completed rebuilds by the path that actually ran (full or incremental).",
+		g, obsv.L("mode", string(rep.Mode))).Inc()
+	if rep.FallbackReason != "" {
+		m.reg.Counter("bear_rebuild_fallback_total",
+			"Auto-mode rebuilds that fell back to a full pass, by reason. A steady stream of hub_dirty or churn fallbacks means the update pattern defeats incremental rebuilds; see OPERATIONS.md.",
+			g, obsv.L("reason", rep.FallbackReason)).Inc()
+	}
 }
 
 // observeRefine records one refined solve into the refinement series.

@@ -35,8 +35,17 @@ type Server struct {
 
 	// RebuildThreshold folds pending dynamic updates into a fresh
 	// preprocessing pass automatically once this many nodes are dirty.
-	// Zero disables automatic rebuilds.
+	// Zero disables automatic rebuilds. Threshold-triggered rebuilds run in
+	// auto mode: incremental when the pending updates qualify, full
+	// otherwise.
 	RebuildThreshold int
+
+	// RebuildMaxChurn, when positive, overrides the auto-mode incremental
+	// rebuild churn threshold (the largest dirty-node fraction rebuilt
+	// incrementally) for every graph registered with this server. Zero
+	// keeps the engine default (0.10). Set from the bearserve
+	// -rebuild-churn flag.
+	RebuildMaxChurn float64
 
 	// MaxBodyBytes caps upload sizes (default 256 MiB).
 	MaxBodyBytes int64
@@ -224,6 +233,7 @@ func (s *Server) AddCtx(ctx context.Context, name string, g *bear.Graph, opts be
 	if err != nil {
 		return err
 	}
+	s.applyRebuildPolicy(dyn)
 	e := &entry{dyn: dyn, opts: opts, created: time.Now(), gen: nextGen.Add(1)}
 	s.mu.Lock()
 	s.graphs[name] = e
@@ -233,6 +243,15 @@ func (s *Server) AddCtx(ctx context.Context, name string, g *bear.Graph, opts be
 	// rebinds the gauge callbacks to the new Dynamic.
 	s.exportGraphMetrics(name, e)
 	return nil
+}
+
+// applyRebuildPolicy pushes the server-wide auto-rebuild thresholds onto
+// a graph entering the registry, whatever door it came through (API
+// registration, snapshot restore, cluster transfer).
+func (s *Server) applyRebuildPolicy(dyn *bear.Dynamic) {
+	if s.RebuildMaxChurn > 0 {
+		dyn.SetRebuildPolicy(bear.RebuildPolicy{MaxChurnFraction: s.RebuildMaxChurn})
+	}
 }
 
 func validateName(name string) error {
@@ -292,6 +311,10 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, bear.ErrRebuildInProgress):
 		writeJSON(w, http.StatusConflict,
 			map[string]string{"error": "rebuild already in progress"})
+	case errors.Is(err, bear.ErrIncrementalNotApplicable):
+		// The pending updates disqualify the demanded mode — a state
+		// conflict, not a server fault; retry with mode=auto or mode=full.
+		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
 	default:
 		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
 	}
@@ -816,7 +839,7 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		// Fold the updates in the background; this request — and every
 		// query meanwhile — keeps serving the current Woodbury-corrected
 		// state and returns immediately.
-		s.startRebuild(name, e)
+		s.startRebuild(name, e, bear.RebuildAuto)
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"graph":      name,
@@ -828,15 +851,17 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 // startRebuild kicks off a background rebuild of e unless one is already
 // running. Queries continue against the old snapshot for the duration;
 // updates accepted meanwhile survive the swap as the new pending set.
-func (s *Server) startRebuild(name string, e *entry) {
+func (s *Server) startRebuild(name string, e *entry, mode bear.RebuildMode) {
 	if e.dyn.RebuildInProgress() {
 		return
 	}
 	okC, failC := s.rebuildCounters(name)
 	go func() {
-		switch err := e.dyn.Rebuild(); {
+		rep, err := e.dyn.RebuildCtx(context.Background(), mode)
+		switch {
 		case err == nil:
 			okC.Inc()
+			s.recordRebuildOutcome(name, rep)
 		case !errors.Is(err, bear.ErrRebuildInProgress):
 			failC.Inc()
 			s.logf("background rebuild of %q: %v", name, err)
@@ -851,28 +876,45 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errNotFound(name))
 		return
 	}
+	mode, err := bear.ParseRebuildMode(r.URL.Query().Get("mode"))
+	if err != nil {
+		writeError(w, errBadRequest("%v", err))
+		return
+	}
 	if r.URL.Query().Get("async") != "" {
-		s.startRebuild(name, e)
+		s.startRebuild(name, e, mode)
 		writeJSON(w, http.StatusAccepted, map[string]interface{}{
 			"graph":      name,
+			"mode":       string(mode),
 			"rebuilding": true,
 		})
 		return
 	}
 	okC, failC := s.rebuildCounters(name)
 	start := time.Now()
-	if err := e.dyn.Rebuild(); err != nil {
-		if !errors.Is(err, bear.ErrRebuildInProgress) {
+	rep, err := e.dyn.RebuildCtx(r.Context(), mode)
+	if err != nil {
+		if !errors.Is(err, bear.ErrRebuildInProgress) && !errors.Is(err, bear.ErrIncrementalNotApplicable) {
 			failC.Inc()
 		}
 		writeError(w, err)
 		return
 	}
 	okC.Inc()
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"graph":      name,
-		"rebuild_ms": float64(time.Since(start).Microseconds()) / 1000,
-	})
+	s.recordRebuildOutcome(name, rep)
+	resp := map[string]interface{}{
+		"graph":             name,
+		"mode":              string(rep.Mode),
+		"requested":         string(rep.Requested),
+		"dirty_nodes":       rep.DirtyNodes,
+		"blocks_refactored": rep.BlocksRefactored,
+		"total_blocks":      rep.TotalBlocks,
+		"rebuild_ms":        float64(time.Since(start).Microseconds()) / 1000,
+	}
+	if rep.FallbackReason != "" {
+		resp["fallback_reason"] = rep.FallbackReason
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -221,6 +222,83 @@ func TestEdgeUpdatesAndRebuild(t *testing.T) {
 	stats := doJSON(t, "GET", base+"/g", "", http.StatusOK)
 	if stats["pending_updates"].(float64) != 0 {
 		t.Fatalf("pending after rebuild: %v", stats)
+	}
+}
+
+// TestRebuildModes drives the ?mode= parameter end to end: explicit full
+// and incremental rebuilds, the 409 refusal when incremental is
+// disqualified, the auto fallback with its recorded reason, and the
+// bear_rebuild_* series on /metrics.
+func TestRebuildModes(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.RebuildThreshold = 0 // rebuilds driven explicitly below
+	base := ts.URL + "/v1/graphs"
+	doJSON(t, "PUT", base+"/g", edgeListBody(), http.StatusCreated)
+
+	doJSON(t, "POST", base+"/g/rebuild?mode=bogus", "", http.StatusBadRequest)
+
+	out := doJSON(t, "POST", base+"/g/rebuild?mode=full", "", http.StatusOK)
+	if out["mode"] != "full" || out["requested"] != "full" {
+		t.Fatalf("full rebuild response %v", out)
+	}
+
+	// The handler never learns node roles, so the test peeks at the engine
+	// to aim updates: a spoke→hub edge qualifies for the incremental path,
+	// a hub update disqualifies it.
+	s.mu.RLock()
+	e := s.graphs["g"]
+	s.mu.RUnlock()
+	p := e.dyn.Precomputed()
+	spoke, hub := -1, -1
+	for u := 0; u < p.N && (spoke < 0 || hub < 0); u++ {
+		if p.IsHub(u) {
+			if hub < 0 {
+				hub = u
+			}
+		} else if spoke < 0 {
+			spoke = u
+		}
+	}
+	if spoke < 0 || hub < 0 {
+		t.Fatalf("test graph lacks a spoke/hub pair (spoke=%d hub=%d)", spoke, hub)
+	}
+
+	doJSON(t, "POST", base+"/g/edges",
+		fmt.Sprintf(`{"op":"add","u":%d,"v":%d,"weight":1.5}`, spoke, hub), http.StatusOK)
+	out = doJSON(t, "POST", base+"/g/rebuild?mode=incremental", "", http.StatusOK)
+	if out["mode"] != "incremental" || out["blocks_refactored"].(float64) < 1 {
+		t.Fatalf("incremental rebuild response %v", out)
+	}
+
+	// Dirty a hub: explicit incremental is refused as a state conflict,
+	// auto falls back to full and records why.
+	doJSON(t, "POST", base+"/g/edges",
+		fmt.Sprintf(`{"op":"add","u":%d,"v":%d,"weight":1.5}`, hub, spoke), http.StatusOK)
+	doJSON(t, "POST", base+"/g/rebuild?mode=incremental", "", http.StatusConflict)
+	out = doJSON(t, "POST", base+"/g/rebuild?mode=auto", "", http.StatusOK)
+	if out["mode"] != "full" || out["fallback_reason"] != "hub_dirty" {
+		t.Fatalf("auto rebuild after hub update: %v", out)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`bear_rebuild_mode_total{graph="g",mode="incremental"} 1`,
+		`bear_rebuild_mode_total{graph="g",mode="full"} 2`,
+		`bear_rebuild_fallback_total{graph="g",reason="hub_dirty"} 1`,
+		`bear_rebuild_stage_seconds{graph="g",stage="schur_factor"}`,
+		`bear_rebuild_blocks_refactored{graph="g"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
 	}
 }
 

@@ -5,7 +5,8 @@
 // Random walk with restart (RWR) scores every node's relevance to a seed
 // node and underlies ranking, community detection, link prediction, and
 // anomaly detection. BEAR splits the work into a one-time preprocessing
-// phase — reorder the system matrix H = I − (1−c)Ãᵀ with SlashBurn so its
+// phase — reorder the system matrix H = I − (1−c)Ãᵀ with a hub-and-spoke
+// ordering engine (SlashBurn by default; see Options.Ordering) so its
 // spoke-spoke block is block diagonal, factor that block and the Schur
 // complement of it — and a per-seed query phase that answers in a handful
 // of sparse matrix-vector products.
@@ -32,8 +33,21 @@ import (
 
 	"bear/internal/core"
 	"bear/internal/graph"
+	"bear/internal/ordering"
 	"bear/internal/rwr"
 )
+
+// DefaultOrdering is the reordering engine selected when Options.Ordering
+// is empty: the paper's SlashBurn.
+const DefaultOrdering = ordering.Default
+
+// Orderings lists the registered reordering engines, sorted — valid values
+// for Options.Ordering, the bearserve -ordering flag, and ?ordering=.
+func Orderings() []string { return ordering.Names() }
+
+// NormalizeOrdering maps the empty ordering name to DefaultOrdering and
+// leaves every other name unchanged; it does not check registration.
+func NormalizeOrdering(name string) string { return ordering.Normalize(name) }
 
 // Graph is a directed weighted graph over nodes 0..N-1. Construct one with
 // NewGraphBuilder, LoadEdgeList, or the Generate* helpers.

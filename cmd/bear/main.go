@@ -60,8 +60,9 @@ func cmdPreprocess(args []string) error {
 	out := fs.String("out", "", "output index file (required)")
 	c := fs.Float64("c", 0, "restart probability (default 0.05)")
 	drop := fs.Float64("drop", 0, "drop tolerance ξ (0 = BEAR-Exact)")
-	k := fs.Int("k", 0, "SlashBurn wave size (default 0.001·n)")
+	k := fs.Int("k", 0, "ordering hub budget — the SlashBurn wave size (default 0.001·n)")
 	lap := fs.Bool("laplacian", false, "use normalized graph Laplacian variant")
+	ord := fs.String("ordering", "", "reordering engine: slashburn|mindeg|nd (default slashburn)")
 	fs.Parse(args)
 	if *graphPath == "" || *out == "" {
 		return fmt.Errorf("preprocess: -graph and -out are required")
@@ -75,7 +76,7 @@ func cmdPreprocess(args []string) error {
 	if err != nil {
 		return err
 	}
-	p, err := bear.Preprocess(g, bear.Options{C: *c, DropTol: *drop, K: *k, Laplacian: *lap})
+	p, err := bear.Preprocess(g, bear.Options{C: *c, DropTol: *drop, K: *k, Laplacian: *lap, Ordering: *ord})
 	if err != nil {
 		return err
 	}

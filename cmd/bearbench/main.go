@@ -40,7 +40,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		bars   = fs.Bool("bars", false, "also draw log-scale bar charts like the paper's figures")
 		list   = fs.Bool("list", false, "list experiments and exit")
 
-		baseline = fs.String("baseline", "", "with -exp kernels or -exp rebuild: regression-gate mode, comparing measured speedups against the baselines in this BENCH_*.json (fails on >20% regression)")
+		baseline = fs.String("baseline", "", "with -exp kernels, rebuild, or orderings: regression-gate mode, comparing measured ratios against the baselines in this BENCH_*.json (fails on >20% regression)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,8 +61,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 			check = bench.CheckKernels
 		case "rebuild":
 			check = bench.CheckRebuild
+		case "orderings":
+			check = bench.CheckOrderings
 		default:
-			return fmt.Errorf("-baseline only applies to -exp kernels or -exp rebuild")
+			return fmt.Errorf("-baseline only applies to -exp kernels, rebuild, or orderings")
 		}
 		if err := check(cfg, *baseline); err != nil {
 			return fmt.Errorf("%s regression gate: %w", *exp, err)

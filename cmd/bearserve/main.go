@@ -59,6 +59,7 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof (empty = disabled); keep it off public interfaces")
 	metrics := flag.Bool("metrics", true, "serve Prometheus metrics at GET /metrics")
 	kern := flag.String("kernel", "", "query-kernel layout: auto|csr|hybrid|sell|parallel (default auto picks per matrix)")
+	ord := flag.String("ordering", "", "reordering engine: slashburn|mindeg|nd (default slashburn)")
 	traceSlow := flag.Duration("trace-slow", 0, "trace every query and log a per-stage breakdown for ones slower than this (0 = off), e.g. -trace-slow=50ms")
 	flag.Var(&graphs, "graph", "name=path of a graph to preprocess at startup (repeatable)")
 	flag.Parse()
@@ -74,6 +75,7 @@ func main() {
 	s.EnableMetrics = *metrics
 	s.TraceSlow = *traceSlow
 	s.DefaultKernel = *kern
+	s.DefaultOrdering = *ord
 
 	if *pprofAddr != "" {
 		// A separate listener keeps the profiling surface off the service
@@ -107,7 +109,7 @@ func main() {
 		}
 	}
 
-	opts := bear.Options{C: *c, DropTol: *drop, Kernel: *kern}
+	opts := bear.Options{C: *c, DropTol: *drop, Kernel: *kern, Ordering: *ord}
 	for _, spec := range graphs {
 		name, path, _ := strings.Cut(spec, "=")
 		if err := loadInto(s, name, path, opts); err != nil {

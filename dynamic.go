@@ -54,7 +54,7 @@ const (
 	// pass otherwise, recording the reason in the RebuildReport.
 	RebuildAuto = core.RebuildAuto
 	// RebuildFull always re-runs the whole preprocessing pass, including a
-	// fresh SlashBurn ordering.
+	// fresh run of the configured ordering engine.
 	RebuildFull = core.RebuildFull
 	// RebuildIncremental requires the dirty-block path and errors when the
 	// pending updates disqualify it.

@@ -2,7 +2,8 @@
 // walk with restart (Shin, Sael, Jung, Kang; SIGMOD 2015).
 //
 // The preprocessing phase (Algorithm 1 of the paper) reorders the system
-// matrix H = I − (1−c)Ãᵀ with SlashBurn so that the spoke-spoke block H₁₁
+// matrix H = I − (1−c)Ãᵀ with the configured ordering engine (SlashBurn by
+// default; see internal/ordering) so that the spoke-spoke block H₁₁
 // is block diagonal, LU-factorizes H₁₁ and inverts the factors, forms the
 // Schur complement S of H₁₁, reorders hubs by degree in S, factorizes S,
 // and optionally drops near-zero entries (BEAR-Approx). The query phase
@@ -23,7 +24,7 @@ import (
 	"bear/internal/dense"
 	"bear/internal/graph"
 	"bear/internal/obsv"
-	"bear/internal/slashburn"
+	"bear/internal/ordering"
 	"bear/internal/sparse"
 	"bear/internal/sparse/kernel"
 )
@@ -42,11 +43,19 @@ type Options struct {
 	// DropTol is the drop tolerance ξ. Zero keeps every entry
 	// (BEAR-Exact); positive values select BEAR-Approx.
 	DropTol float64
-	// HubRatio sets the SlashBurn wave size k = HubRatio·n when K is zero.
-	// Zero selects DefaultHubRatio.
+	// HubRatio sets the ordering budget k = HubRatio·n when K is zero
+	// (the SlashBurn wave size of the paper). Zero selects
+	// DefaultHubRatio.
 	HubRatio float64
-	// K overrides the SlashBurn wave size directly when positive.
+	// K overrides the ordering budget directly when positive.
 	K int
+	// Ordering names the reordering engine for lines 2-3 of Algorithm 1
+	// (internal/ordering): "slashburn" (the paper's, and the default when
+	// empty), "mindeg" (greedy minimum-degree elimination), "nd" (nested
+	// dissection), or any engine registered at runtime. Every engine
+	// yields exact query results; they trade fill, memory, preprocess
+	// time, and query speed. Unknown names fail preprocessing up front.
+	Ordering string
 	// Laplacian switches the transition matrix from the row-normalized
 	// adjacency Ã to the normalized graph Laplacian D⁻¹ᐟ²AD⁻¹ᐟ²
 	// (Section 3.4, "RWR with normalized graph Laplacian").
@@ -110,22 +119,27 @@ func (o Options) withDefaults() Options {
 // Stats records structural and timing measurements from preprocessing; the
 // fields mirror the columns of Table 4 of the paper.
 type Stats struct {
-	N, M           int
-	N1, N2         int
-	NumBlocks      int
-	SumSqBlocks    int64 // Σ n₁ᵢ²
-	SlashBurnIters int
+	N, M        int
+	N1, N2      int
+	NumBlocks   int
+	SumSqBlocks int64 // Σ n₁ᵢ²
+	// Ordering is the name of the engine that produced the hub/block
+	// structure ("slashburn" unless Options.Ordering chose another).
+	Ordering string
+	// OrderingIters is the engine's work counter: hub-removal waves for
+	// slashburn, mass-eliminated nodes for mindeg, recursion depth for nd.
+	OrderingIters int
 
 	NNZH      int // |H|
 	NNZH12H21 int // |H₁₂| + |H₂₁|
 	NNZL1U1   int // |L₁⁻¹| + |U₁⁻¹|
 	NNZL2U2   int // |L₂⁻¹| + |U₂⁻¹|
 
-	TimeSlashBurn time.Duration
-	TimeLU1       time.Duration
-	TimeSchur     time.Duration
-	TimeLU2       time.Duration
-	TimeTotal     time.Duration
+	TimeOrdering time.Duration
+	TimeLU1      time.Duration
+	TimeSchur    time.Duration
+	TimeLU2      time.Duration
+	TimeTotal    time.Duration
 }
 
 // Precomputed holds the output of BEAR preprocessing: the six matrices of
@@ -156,6 +170,11 @@ type Precomputed struct {
 	// only when preprocessing ran with Options.KeepH; nil otherwise. It
 	// backs Residual and the iterative-refinement query path.
 	H *sparse.CSR
+
+	// Tree is the recursion tree of a nested-dissection ordering (the
+	// partition structure block-level sharding consumes), nil for other
+	// engines. Derived at preprocess time, never serialized.
+	Tree *ordering.PartitionTree
 
 	OutDegree []float64 // weighted out-degree per node, for effective importance
 
@@ -239,7 +258,7 @@ func (p *Precomputed) KernelLayouts() map[string]string {
 
 // PreprocessCtx is Preprocess with cooperative cancellation and per-stage
 // observability. The context is checked between the stages of Algorithm 1 —
-// after SlashBurn, before each diagonal block of the H₁₁ factorization,
+// after the ordering, before each diagonal block of the H₁₁ factorization,
 // between the Schur-complement products, and before the Schur
 // factorization — so a cancelled rebuild aborts within one stage (or one
 // block) instead of running minutes to completion; the context's error is
@@ -252,7 +271,7 @@ func PreprocessCtx(ctx context.Context, g *graph.Graph, opts Options) (*Precompu
 		return nil, err
 	}
 	if tr := obsv.FromContext(ctx); tr != nil {
-		tr.Add(obsv.SpanSlashBurn, p.Stats.TimeSlashBurn)
+		tr.Add(obsv.SpanOrdering, p.Stats.TimeOrdering)
 		tr.Add(obsv.SpanBlockLU, p.Stats.TimeLU1)
 		tr.Add(obsv.SpanSchurAssembly, p.Stats.TimeSchur)
 		tr.Add(obsv.SpanSchurFactor, p.Stats.TimeLU2)
@@ -275,8 +294,13 @@ func preprocessCtx(ctx context.Context, g *graph.Graph, opts Options) (*Precompu
 	if opts.DropTol < 0 {
 		return nil, fmt.Errorf("core: negative drop tolerance %g", opts.DropTol)
 	}
-	// Reject a bad kernel spec before minutes of preprocessing, not after.
+	// Reject a bad kernel spec or unknown ordering before minutes of
+	// preprocessing, not after.
 	if _, err := kernel.ParseConfig(opts.Kernel); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	ord, err := ordering.Get(opts.Ordering)
+	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	n := g.N()
@@ -288,7 +312,8 @@ func preprocessCtx(ctx context.Context, g *graph.Graph, opts Options) (*Precompu
 	// Line 1: H = I − (1−c)Ãᵀ (or the Laplacian variant).
 	h := g.HMatrixCSC(opts.C, opts.Laplacian)
 
-	// Lines 2-3: SlashBurn ordering.
+	// Lines 2-3: hub-and-spoke reordering by the configured engine
+	// (SlashBurn unless Options.Ordering chose another).
 	k := opts.K
 	if k <= 0 {
 		k = int(opts.HubRatio * float64(n))
@@ -297,10 +322,16 @@ func preprocessCtx(ctx context.Context, g *graph.Graph, opts Options) (*Precompu
 		}
 	}
 	tsb := time.Now()
-	sb := slashburn.Run(g, k)
-	timeSlashBurn := time.Since(tsb)
+	sb, err := ord.Run(g, ordering.Params{K: k})
+	if err != nil {
+		return nil, fmt.Errorf("core: ordering %s: %w", ord.Name(), err)
+	}
+	if err := ordering.CheckStructure(n, sb); err != nil {
+		return nil, fmt.Errorf("core: ordering %s produced an invalid result: %w", ord.Name(), err)
+	}
+	timeOrdering := time.Since(tsb)
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: preprocessing aborted after SlashBurn: %w", err)
+		return nil, fmt.Errorf("core: preprocessing aborted after ordering: %w", err)
 	}
 
 	p := &Precomputed{
@@ -335,7 +366,13 @@ func preprocessCtx(ctx context.Context, g *graph.Graph, opts Options) (*Precompu
 	// which also makes the blocks embarrassingly parallel.
 	tlu1 := time.Now()
 	var l1inv, u1inv *sparse.CSR
-	if len(sb.Blocks) > 1 {
+	if n1 == 0 {
+		// Everything is a hub (possible for degenerate graphs under the
+		// non-default engines): H₁₁ is empty and the Schur complement is
+		// all of H.
+		l1inv = sparse.NewCSR(0, 0, nil)
+		u1inv = sparse.NewCSR(0, 0, nil)
+	} else if len(sb.Blocks) > 1 {
 		// The per-block path is bit-identical to whole-matrix LU (Lemma 1)
 		// even at workers == 1, and it gives cancellation a per-block poll
 		// point, so any multi-block H₁₁ takes it.
@@ -451,6 +488,7 @@ func preprocessCtx(ctx context.Context, g *graph.Graph, opts Options) (*Precompu
 
 	p.Perm = perm
 	p.InvPerm = invPerm
+	p.Tree = sb.Tree
 	p.L1Inv = l1inv
 	p.U1Inv = u1inv
 	p.H12 = h12
@@ -465,18 +503,19 @@ func preprocessCtx(ctx context.Context, g *graph.Graph, opts Options) (*Precompu
 	}
 	p.Stats = Stats{
 		N: n, M: g.M(), N1: p.N1, N2: p.N2,
-		NumBlocks:      len(sb.Blocks),
-		SumSqBlocks:    sb.SumSqBlocks(),
-		SlashBurnIters: sb.Iterations,
-		NNZH:           h.NNZ(),
-		NNZH12H21:      h12.NNZ() + h21.NNZ(),
-		NNZL1U1:        l1inv.NNZ() + u1inv.NNZ(),
-		NNZL2U2:        l2inv.NNZ() + u2inv.NNZ(),
-		TimeSlashBurn:  timeSlashBurn,
-		TimeLU1:        timeLU1,
-		TimeSchur:      timeSchur,
-		TimeLU2:        timeLU2,
-		TimeTotal:      time.Since(start),
+		NumBlocks:     len(sb.Blocks),
+		SumSqBlocks:   sb.SumSqBlocks(),
+		Ordering:      ord.Name(),
+		OrderingIters: sb.Iterations,
+		NNZH:          h.NNZ(),
+		NNZH12H21:     h12.NNZ() + h21.NNZ(),
+		NNZL1U1:       l1inv.NNZ() + u1inv.NNZ(),
+		NNZL2U2:       l2inv.NNZ() + u2inv.NNZ(),
+		TimeOrdering:  timeOrdering,
+		TimeLU1:       timeLU1,
+		TimeSchur:     timeSchur,
+		TimeLU2:       timeLU2,
+		TimeTotal:     time.Since(start),
 	}
 	return p, nil
 }

@@ -8,6 +8,7 @@ import (
 	"math"
 
 	"bear/internal/graph"
+	"bear/internal/ordering"
 )
 
 // dynMagic identifies a serialized Dynamic: preprocessing options, base
@@ -22,6 +23,14 @@ var dynMagic = [8]byte{'B', 'E', 'A', 'R', 'D', 'Y', '0', '1'}
 // the embedded precomputed payload. States that carry neither are still
 // written as version 1, byte-identical to before.
 var dynMagic2 = [8]byte{'B', 'E', 'A', 'R', 'D', 'Y', '0', '2'}
+
+// dynMagic3 identifies version 3 of the dynamic-state format: version 2
+// with the KeepH and with-H flags always explicit, followed by the name
+// of the ordering engine that produced the index, so a restored Dynamic
+// rebuilds with the same engine. States ordered by the default SlashBurn
+// are still written as version 1 or 2, byte-identical to before; versions
+// 1 and 2 restore as slashburn.
+var dynMagic3 = [8]byte{'B', 'E', 'A', 'R', 'D', 'Y', '0', '3'}
 
 // SaveState serializes the full dynamic-serving state: a restored Dynamic
 // answers every query bit-identically to this one, including the exact
@@ -38,13 +47,19 @@ func (d *Dynamic) SaveState(w io.Writer) error {
 	cur := d.materializeLocked()
 	d.mu.Unlock()
 
-	v2 := opts.KeepH || p.H != nil
+	withH := opts.KeepH || p.H != nil
+	// Version 3 exists only to carry a non-default ordering name; indexes
+	// ordered by SlashBurn keep writing the older formats byte-identically.
+	v3 := ordering.Normalize(opts.Ordering) != ordering.Default
 	bw := bufio.NewWriter(w)
 	cw := &crcWriter{w: bw}
 	e := &encoder{w: cw}
-	if v2 {
+	switch {
+	case v3:
+		e.bytes(dynMagic3[:])
+	case withH:
 		e.bytes(dynMagic2[:])
-	} else {
+	default:
 		e.bytes(dynMagic[:])
 	}
 	e.f64(opts.C)
@@ -55,11 +70,15 @@ func (d *Dynamic) SaveState(w io.Writer) error {
 	e.i64(int64(opts.Workers))
 	e.bool(opts.Laplacian)
 	e.bool(opts.NoHubOrder)
-	if v2 {
+	if v3 {
+		e.bool(opts.KeepH)
+		e.bool(withH)
+		e.str(ordering.Normalize(opts.Ordering))
+	} else if withH {
 		e.bool(opts.KeepH)
 	}
 	encodeGraph(e, base)
-	p.encodePayload(e, v2)
+	p.encodePayload(e, withH)
 	e.ints(dirty)
 	if len(dirty) == 0 {
 		e.bool(false) // cur == base; don't store the graph twice
@@ -91,10 +110,11 @@ func LoadDynamic(r io.Reader) (*Dynamic, error) {
 	if d.err != nil {
 		return nil, fmt.Errorf("core: loading dynamic state: %w", d.err)
 	}
-	if got != dynMagic && got != dynMagic2 {
+	if got != dynMagic && got != dynMagic2 && got != dynMagic3 {
 		return nil, fmt.Errorf("core: bad magic %q; not a BEAR dynamic-state file", got[:])
 	}
-	v2 := got == dynMagic2
+	v3 := got == dynMagic3
+	withH := got == dynMagic2
 	var opts Options
 	opts.C = d.f64()
 	opts.DropTol = d.f64()
@@ -104,14 +124,29 @@ func LoadDynamic(r io.Reader) (*Dynamic, error) {
 	opts.Workers = int(d.i64())
 	opts.Laplacian = d.bool()
 	opts.NoHubOrder = d.bool()
-	if v2 {
+	switch {
+	case v3:
+		opts.KeepH = d.bool()
+		withH = d.bool()
+		// Versions 1 and 2 predate pluggable orderings: their indexes were
+		// produced by SlashBurn and opts.Ordering stays "", which selects it.
+		opts.Ordering = d.str()
+		if d.err == nil {
+			if _, err := ordering.Get(opts.Ordering); err != nil {
+				// An unknown engine means a rebuild could not reproduce the
+				// partition the stored factors depend on — refuse the file
+				// explicitly rather than silently reordering differently.
+				return nil, fmt.Errorf("core: loading dynamic state: %w", err)
+			}
+		}
+	case withH:
 		opts.KeepH = d.bool()
 	}
 	base := decodeGraph(d)
 	if d.err != nil {
 		return nil, fmt.Errorf("core: loading dynamic state: %w", d.err)
 	}
-	p, err := decodePayload(d, v2)
+	p, err := decodePayload(d, withH)
 	if err != nil {
 		return nil, err
 	}
@@ -137,6 +172,9 @@ func LoadDynamic(r io.Reader) (*Dynamic, error) {
 func RestoreDynamic(base, cur *graph.Graph, p *Precomputed, dirty []int, opts Options) (*Dynamic, error) {
 	if base == nil || cur == nil || p == nil {
 		return nil, fmt.Errorf("core: restore from nil component")
+	}
+	if _, err := ordering.Get(opts.Ordering); err != nil {
+		return nil, fmt.Errorf("core: restore: %w", err)
 	}
 	if base.N() != p.N || cur.N() != p.N {
 		return nil, fmt.Errorf("core: restore size mismatch: base n=%d cur n=%d precomputed n=%d",

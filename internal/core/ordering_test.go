@@ -1,0 +1,239 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bear/internal/graph"
+	"bear/internal/graph/gen"
+	"bear/internal/ordering"
+	"bear/internal/sparse"
+)
+
+// orderingTestGraphs are the graphs the per-engine correctness tests
+// sweep: one hub-and-spoke graph BEAR targets and one locally-clustered
+// one where the engines disagree most about the partition.
+func orderingTestGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"rmat":    gen.RMAT(gen.NewRMATPul(200, 1200, 0.7, 21)),
+		"caveman": gen.CavemanHubs(gen.CavemanHubsConfig{Communities: 6, Size: 14, PIntra: 0.3, Hubs: 4, HubDeg: 18, Seed: 22}),
+	}
+}
+
+// TestPreprocessAllOrderingsMatchOracle: the RWR answer is a property of
+// the graph, not the ordering, so every engine's index must agree with
+// the dense LU oracle on H to solver precision.
+func TestPreprocessAllOrderingsMatchOracle(t *testing.T) {
+	for gname, g := range orderingTestGraphs() {
+		f, err := sparse.LU(g.HMatrixCSC(DefaultC, false))
+		if err != nil {
+			t.Fatalf("%s: oracle LU: %v", gname, err)
+		}
+		for _, eng := range ordering.Builtin() {
+			t.Run(gname+"/"+eng, func(t *testing.T) {
+				p, err := Preprocess(g, Options{K: 2, Ordering: eng})
+				if err != nil {
+					t.Fatalf("Preprocess: %v", err)
+				}
+				if p.Stats.Ordering != eng {
+					t.Errorf("Stats.Ordering = %q, want %q", p.Stats.Ordering, eng)
+				}
+				for _, seed := range []int{0, 3, g.N() - 1} {
+					got, err := p.Query(seed)
+					if err != nil {
+						t.Fatalf("Query(%d): %v", seed, err)
+					}
+					want := make([]float64, g.N())
+					want[seed] = DefaultC
+					if err := f.Solve(want); err != nil {
+						t.Fatalf("oracle solve: %v", err)
+					}
+					for i := range got {
+						if math.Abs(got[i]-want[i]) > 1e-9 {
+							t.Fatalf("seed %d node %d: index %g, oracle %g", seed, i, got[i], want[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPreprocessUnknownOrderingErrors: a typo'd engine name must fail
+// preprocessing loudly, naming the known set, not silently fall back.
+func TestPreprocessUnknownOrderingErrors(t *testing.T) {
+	g := gen.ErdosRenyi(40, 200, 23)
+	if _, err := Preprocess(g, Options{Ordering: "no-such-engine"}); err == nil {
+		t.Fatal("Preprocess accepted an unknown ordering")
+	} else if !strings.Contains(err.Error(), "no-such-engine") {
+		t.Fatalf("error %q does not name the unknown engine", err)
+	}
+}
+
+// TestIncrementalRebuildAllOrderings: the dirty-block path reuses the
+// retained partition verbatim, so it must work — and stay consistent
+// with a fresh preprocessing of the updated graph — under every
+// built-in engine, not just SlashBurn.
+func TestIncrementalRebuildAllOrderings(t *testing.T) {
+	for _, eng := range ordering.Builtin() {
+		t.Run(eng, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(24))
+			d, err := NewDynamic(gen.RMAT(gen.NewRMATPul(200, 1200, 0.7, 21)), Options{K: 2, Ordering: eng})
+			if err != nil {
+				t.Fatalf("NewDynamic: %v", err)
+			}
+			applyEligibleChurn(t, rng, d, 0.03)
+			rep, err := d.RebuildCtx(context.Background(), RebuildIncremental)
+			if err != nil {
+				t.Fatalf("incremental rebuild: %v", err)
+			}
+			if rep.Mode != RebuildIncremental || rep.FallbackReason != "" {
+				t.Fatalf("mode=%s fallback=%q, want incremental with no fallback", rep.Mode, rep.FallbackReason)
+			}
+			seed := 7 % d.Precomputed().N
+			got, err := d.Query(seed)
+			if err != nil {
+				t.Fatalf("query after rebuild: %v", err)
+			}
+			if diff := maxAbsDiff(got, freshSolve(t, d.Graph(), seed)); diff > 1e-9 {
+				t.Fatalf("incremental rebuild under %s drifted %g from fresh preprocess", eng, diff)
+			}
+		})
+	}
+}
+
+// TestSnapshotOrderingRoundTrip: selecting a non-default engine switches
+// the snapshot to the v3 format, which must restore the ordering name
+// and answer queries bit-identically.
+func TestSnapshotOrderingRoundTrip(t *testing.T) {
+	for _, eng := range ordering.Builtin() {
+		if eng == ordering.Default {
+			continue
+		}
+		t.Run(eng, func(t *testing.T) {
+			d, err := NewDynamic(gen.RMAT(gen.NewRMATPul(150, 900, 0.7, 25)), Options{K: 2, Ordering: eng})
+			if err != nil {
+				t.Fatalf("NewDynamic: %v", err)
+			}
+			if err := d.AddEdge(1, 2, 2.5); err != nil {
+				t.Fatalf("AddEdge: %v", err)
+			}
+			var buf strings.Builder
+			if err := d.SaveState(&buf); err != nil {
+				t.Fatalf("SaveState: %v", err)
+			}
+			if got := buf.String()[:8]; got != string(dynMagic3[:]) {
+				t.Fatalf("non-default ordering saved with magic %q, want %q", got, dynMagic3)
+			}
+			d2, err := LoadDynamic(strings.NewReader(buf.String()))
+			if err != nil {
+				t.Fatalf("LoadDynamic: %v", err)
+			}
+			if got := d2.Options().Ordering; got != eng {
+				t.Fatalf("restored Ordering = %q, want %q", got, eng)
+			}
+			for _, seed := range []int{0, 5} {
+				a, err := d.Query(seed)
+				if err != nil {
+					t.Fatalf("original query: %v", err)
+				}
+				b, err := d2.Query(seed)
+				if err != nil {
+					t.Fatalf("restored query: %v", err)
+				}
+				if diff := maxAbsDiff(a, b); diff != 0 {
+					t.Fatalf("restored query(%d) differs by %g, want bit-identical", seed, diff)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotDefaultOrderingKeepsOldFormat: default-ordering snapshots
+// must stay byte-compatible with the pre-ordering-engine formats so old
+// readers and committed fixtures keep working; old files restore with
+// the ordering unset (= SlashBurn).
+func TestSnapshotDefaultOrderingKeepsOldFormat(t *testing.T) {
+	d, err := NewDynamic(gen.ErdosRenyi(60, 300, 26), Options{K: 2})
+	if err != nil {
+		t.Fatalf("NewDynamic: %v", err)
+	}
+	var buf strings.Builder
+	if err := d.SaveState(&buf); err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	if got := buf.String()[:8]; got == string(dynMagic3[:]) {
+		t.Fatal("default ordering saved in the v3 format; old readers would refuse it")
+	}
+	d2, err := LoadDynamic(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("LoadDynamic: %v", err)
+	}
+	if got := d2.Options().Ordering; got != "" {
+		t.Fatalf("default-format restore set Ordering = %q, want empty (SlashBurn)", got)
+	}
+}
+
+// TestSnapshotUnknownOrderingRefused: a snapshot naming an engine this
+// build does not register must fail to load with an explicit error —
+// querying it with the wrong ordering's index would be silently wrong.
+// The name is injected by mutating the in-memory options before saving,
+// standing in for a file written by a build with an extra engine.
+func TestSnapshotUnknownOrderingRefused(t *testing.T) {
+	d, err := NewDynamic(gen.ErdosRenyi(60, 300, 27), Options{K: 2, Ordering: "mindeg"})
+	if err != nil {
+		t.Fatalf("NewDynamic: %v", err)
+	}
+	d.opts.Ordering = "engine-from-the-future"
+	var buf strings.Builder
+	if err := d.SaveState(&buf); err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	if _, err := LoadDynamic(strings.NewReader(buf.String())); err == nil {
+		t.Fatal("LoadDynamic accepted a snapshot naming an unknown ordering")
+	} else if !strings.Contains(err.Error(), "engine-from-the-future") {
+		t.Fatalf("error %q does not name the unknown engine", err)
+	}
+	if _, err := RestoreDynamic(d.base, d.base, d.Precomputed(), nil, Options{Ordering: "engine-from-the-future"}); err == nil {
+		t.Fatal("RestoreDynamic accepted an unknown ordering")
+	}
+}
+
+// noReuseOrdering is a registered test engine (SlashBurn's ordering
+// under another name) that declares its partitions non-reusable,
+// exercising the ordering_no_reuse rebuild fallback.
+type noReuseOrdering struct{ ordering.SlashBurn }
+
+func (noReuseOrdering) Name() string            { return "test-noreuse" }
+func (noReuseOrdering) ReusablePartition() bool { return false }
+
+// TestRebuildFallbackOrderingNoReuse: an engine that opts out of
+// partition reuse must push explicit incremental rebuilds to a refusal
+// and auto rebuilds to a full pass, both naming ordering_no_reuse.
+func TestRebuildFallbackOrderingNoReuse(t *testing.T) {
+	if err := ordering.Register(noReuseOrdering{}); err != nil && !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("Register: %v", err)
+	}
+	d, err := NewDynamic(gen.RMAT(gen.NewRMATPul(200, 1200, 0.7, 28)), Options{K: 2, Ordering: "test-noreuse"})
+	if err != nil {
+		t.Fatalf("NewDynamic: %v", err)
+	}
+	rng := rand.New(rand.NewSource(29))
+	applyEligibleChurn(t, rng, d, 0.02)
+	if _, err := d.RebuildCtx(context.Background(), RebuildIncremental); err == nil {
+		t.Fatal("explicit incremental rebuild did not refuse")
+	} else if !strings.Contains(err.Error(), FallbackOrderingReuse) {
+		t.Fatalf("refusal %q does not name %q", err, FallbackOrderingReuse)
+	}
+	rep, err := d.RebuildCtx(context.Background(), RebuildAuto)
+	if err != nil {
+		t.Fatalf("auto rebuild: %v", err)
+	}
+	if rep.Mode != RebuildFull || rep.FallbackReason != FallbackOrderingReuse {
+		t.Fatalf("auto rebuild ran %s with fallback %q, want full with %q",
+			rep.Mode, rep.FallbackReason, FallbackOrderingReuse)
+	}
+}

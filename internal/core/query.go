@@ -272,7 +272,7 @@ func (p *Precomputed) QueryEffectiveImportance(seed int) ([]float64, error) {
 }
 
 // IsHub reports whether a node was classified as a hub (part of the dense
-// H₂₂ block) by SlashBurn during preprocessing.
+// H₂₂ block) by the ordering engine during preprocessing.
 func (p *Precomputed) IsHub(node int) bool {
 	if node < 0 || node >= p.N {
 		panic(fmt.Sprintf("core: node %d out of range [0,%d)", node, p.N))

@@ -11,6 +11,7 @@ import (
 
 	"bear/internal/graph"
 	"bear/internal/obsv"
+	"bear/internal/ordering"
 	"bear/internal/sparse"
 )
 
@@ -29,8 +30,9 @@ const (
 	// (spoke-only, within the churn and fill budgets) and falls back to a
 	// full pass otherwise, recording the reason.
 	RebuildAuto RebuildMode = "auto"
-	// RebuildFull always re-runs Algorithm 1 from scratch: fresh SlashBurn
-	// ordering, every block re-factored. Restores ordering quality.
+	// RebuildFull always re-runs Algorithm 1 from scratch: a fresh run of
+	// the configured ordering engine, every block re-factored. Restores
+	// ordering quality.
 	RebuildFull RebuildMode = "full"
 	// RebuildIncremental requires the dirty-block path and errors if the
 	// pending updates disqualify it (use RebuildAuto to fall back instead).
@@ -56,7 +58,7 @@ func ParseRebuildMode(s string) (RebuildMode, error) {
 const (
 	// FallbackNoPending: nothing is dirty, so there is no dirty-block work
 	// to scope; a requested rebuild runs the full pass (which also
-	// refreshes the SlashBurn ordering).
+	// refreshes the ordering).
 	FallbackNoPending = "no_pending"
 	// FallbackNoCache: the Schur-assembly cache is absent — the index was
 	// loaded from disk (the cache is derived state and never serialized)
@@ -82,8 +84,13 @@ const (
 	FallbackChurn = "churn"
 	// FallbackFillRatio: accumulated incremental rebuilds inflated the
 	// factor nonzeros past RebuildPolicy.MaxFillRatio times the last full
-	// build — the reused ordering has degraded, so re-run SlashBurn.
+	// build — the reused ordering has degraded, so re-run the engine.
 	FallbackFillRatio = "fill_ratio"
+	// FallbackOrderingReuse: the configured ordering engine declares its
+	// partitions non-reusable across graph mutations (ordering.NonReusable),
+	// so the dirty-block path — which reuses the retained partition
+	// verbatim — is unsound for it. All built-in engines are reusable.
+	FallbackOrderingReuse = "ordering_no_reuse"
 )
 
 // RebuildPolicy bounds when RebuildAuto takes the incremental path.
@@ -111,7 +118,7 @@ func (p RebuildPolicy) withDefaults() RebuildPolicy {
 
 // RebuildReport describes one completed rebuild: which path ran, why auto
 // fell back (if it did), and the per-stage split. Incremental rebuilds
-// spend nothing on SlashBurn and time only the dirty blocks in the LU
+// spend nothing on the ordering and time only the dirty blocks in the LU
 // stage; full rebuilds mirror the Algorithm 1 stage split.
 type RebuildReport struct {
 	// Requested is the mode the caller asked for; Mode is the path that
@@ -126,7 +133,7 @@ type RebuildReport struct {
 	BlocksRefactored int
 	TotalBlocks      int
 
-	TimeSlashBurn     time.Duration
+	TimeOrdering      time.Duration
 	TimeBlockLU       time.Duration
 	TimeSplice        time.Duration
 	TimeSchurAssembly time.Duration
@@ -200,7 +207,7 @@ func (d *Dynamic) Rebuild() error {
 // block), splices the fresh factors into L₁⁻¹/U₁⁻¹, patches the dirty
 // blocks' contributions to the Schur complement through the retained
 // U₁⁻¹L₁⁻¹H₁₂ cache, and re-factors S — bounding rebuild cost by churn,
-// not graph size, at the price of reusing the existing SlashBurn ordering.
+// not graph size, at the price of reusing the existing ordering.
 // Query results are bit-identical to a full re-factorization under that
 // same ordering. The mode errors when the pending updates disqualify it;
 // RebuildAuto falls back to a full pass instead and records the reason in
@@ -260,7 +267,7 @@ func (d *Dynamic) RebuildCtx(ctx context.Context, mode RebuildMode) (RebuildRepo
 	} else {
 		p, err = PreprocessCtx(ctx, snap, opts)
 		if err == nil {
-			rep.TimeSlashBurn = p.Stats.TimeSlashBurn
+			rep.TimeOrdering = p.Stats.TimeOrdering
 			rep.TimeBlockLU = p.Stats.TimeLU1
 			rep.TimeSchurAssembly = p.Stats.TimeSchur
 			rep.TimeSchurFactor = p.Stats.TimeLU2
@@ -331,6 +338,9 @@ func (d *Dynamic) incrementalPlanLocked() (*incrPlan, string) {
 	}
 	if p.incr == nil {
 		return nil, FallbackNoCache
+	}
+	if !ordering.Reusable(d.opts.Ordering) {
+		return nil, FallbackOrderingReuse
 	}
 	pol := d.policy.withDefaults()
 	if float64(len(d.dirty)) > pol.MaxChurnFraction*float64(p.N) {
@@ -531,8 +541,8 @@ func rebuildIncremental(ctx context.Context, snap *graph.Graph, old *Precomputed
 	// Stage 4 (line 8): re-factor S under the existing hub order. S is the
 	// small dense heart of the index; a full re-factor here is still
 	// O(churn)-dominated for the overall rebuild because every O(graph)
-	// stage (SlashBurn, whole-matrix LU, full Schur products over n₁) is
-	// gone.
+	// stage (the ordering, whole-matrix LU, full Schur products over n₁)
+	// is gone.
 	tfactor := time.Now()
 	l2inv, u2inv, sperm, err := factorSchur(s, opts.DenseSchurCutoff)
 	if err != nil {

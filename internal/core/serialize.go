@@ -307,6 +307,11 @@ func (e *encoder) bool(v bool) {
 	}
 }
 
+func (e *encoder) str(s string) {
+	e.i64(int64(len(s)))
+	e.bytes([]byte(s))
+}
+
 func (e *encoder) ints(v []int) {
 	e.i64(int64(len(v)))
 	for _, x := range v {
@@ -367,6 +372,26 @@ func (d *decoder) bool() bool {
 }
 
 const maxSliceLen = 1 << 33 // sanity bound against corrupt headers
+
+// maxStrLen bounds decoded strings (identifiers like ordering names, never
+// bulk data), so a lying length header cannot allocate gigabytes.
+const maxStrLen = 1 << 12
+
+func (d *decoder) str() string {
+	n := d.i64()
+	if d.err == nil && (n < 0 || n > maxStrLen) {
+		d.err = fmt.Errorf("corrupt string length %d", n)
+	}
+	if d.err != nil {
+		return ""
+	}
+	b := make([]byte, n)
+	d.bytes(b)
+	if d.err != nil {
+		return ""
+	}
+	return string(b)
+}
 
 func (d *decoder) sliceLen() int {
 	n := d.i64()

@@ -148,7 +148,7 @@ func TestPreprocessCtxTrace(t *testing.T) {
 		t.Fatalf("PreprocessCtx: %v", err)
 	}
 	got := countSpans(tr.Spans())
-	for _, stage := range []string{obsv.SpanSlashBurn, obsv.SpanBlockLU, obsv.SpanSchurAssembly, obsv.SpanSchurFactor} {
+	for _, stage := range []string{obsv.SpanOrdering, obsv.SpanBlockLU, obsv.SpanSchurAssembly, obsv.SpanSchurFactor} {
 		if got[stage] != 1 {
 			t.Errorf("stage %s recorded %d times, want 1", stage, got[stage])
 		}

@@ -13,7 +13,7 @@ import (
 // onto the lines of Algorithm 1 (the split Figure 8 of the paper reports).
 const (
 	// Preprocessing (Algorithm 1).
-	SpanSlashBurn     = "slashburn"      // lines 2-3: hub-and-spoke reordering
+	SpanOrdering      = "ordering"       // lines 2-3: hub-and-spoke reordering (the configured engine)
 	SpanBlockLU       = "block_lu"       // line 5: per-block LU of H11 + factor inversion
 	SpanSchurAssembly = "schur_assembly" // line 6: S = H22 − H21 U1⁻¹ L1⁻¹ H12
 	SpanSchurFactor   = "schur_factor"   // line 8: LU of S + factor inversion

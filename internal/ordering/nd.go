@@ -1,0 +1,303 @@
+package ordering
+
+import (
+	"sort"
+
+	"bear/internal/graph"
+)
+
+// NestedDissection orders by recursive vertex separators: each connected
+// region larger than the leaf budget (max(32, 2K) nodes) is split by a
+// small BFS level set found from a pseudo-peripheral start node, the
+// separator's nodes become hubs, and the recursion continues on the
+// disconnected remainders until every region fits a leaf. Leaves become
+// the diagonal blocks of H₁₁ (ordered within by ascending in-leaf degree)
+// and are laid out in depth-first order, so every subtree of the exported
+// PartitionTree covers one contiguous position range — the structure
+// block-level sharding needs to place subtrees on shards while
+// replicating only the hub factors.
+//
+// When no region exceeds the leaf budget the graph needs no separator; the
+// engine then promotes the highest-degree node to a single hub so that
+// n₂ ≥ 1 holds, as every downstream stage assumes. Iterations reports the
+// maximum recursion depth. Result.Tree is nil only when the graph has no
+// spokes (a single node).
+type NestedDissection struct{}
+
+// Name implements Ordering.
+func (NestedDissection) Name() string { return "nd" }
+
+// Run implements Ordering. It never errors.
+func (NestedDissection) Run(g *graph.Graph, p Params) (*Result, error) {
+	n := g.N()
+	if n == 0 {
+		return &Result{Perm: []int{}, InvPerm: []int{}}, nil
+	}
+	leafMax := 2 * p.K
+	if leafMax < 32 {
+		leafMax = 32
+	}
+	d := &dissector{
+		und:     g.UndirectedNeighbors(),
+		leafMax: leafMax,
+		perm:    make([]int, n),
+		mark:    make([]int, n),
+		level:   make([]int, n),
+	}
+
+	comps := d.components(nil)
+	needSplit := false
+	for _, c := range comps {
+		if len(c) > leafMax {
+			needSplit = true
+			break
+		}
+	}
+
+	var root *PartitionTree
+	if !needSplit {
+		// No separators needed — promote the highest-degree node to the
+		// single hub and let the remainder components be the leaves.
+		total := g.TotalDegrees()
+		hub := 0
+		for u := 1; u < n; u++ {
+			if total[u] > total[hub] {
+				hub = u
+			}
+		}
+		root = &PartitionTree{Block: -1, SepNodes: []int{hub}}
+		for i := range d.mark {
+			d.mark[i] = 0 // the needSplit scan consumed the marks
+		}
+		d.mark[hub] = -1
+		for _, c := range d.components(nil) {
+			root.Children = append(root.Children, d.leaf(c))
+		}
+		root.Hi = d.cursor
+	} else if len(comps) == 1 {
+		root = d.dissect(comps[0], 0)
+	} else {
+		root = &PartitionTree{Block: -1}
+		for _, c := range comps {
+			root.Children = append(root.Children, d.dissect(c, 1))
+		}
+		root.Hi = d.cursor
+	}
+
+	// Spoke positions were assigned by the leaves; hubs take the final
+	// positions in depth-first post-order, so the root separator — the
+	// globally most connective cut — comes last, the classic nested-
+	// dissection elimination order.
+	n1 := d.cursor
+	var hubs []int
+	var post func(t *PartitionTree)
+	post = func(t *PartitionTree) {
+		for _, c := range t.Children {
+			post(c)
+		}
+		hubs = append(hubs, t.SepNodes...)
+	}
+	post(root)
+	for i, u := range hubs {
+		d.perm[u] = n1 + i
+	}
+
+	inv := make([]int, n)
+	for u, q := range d.perm {
+		inv[q] = u
+	}
+	if len(d.blocks) == 0 {
+		root = nil
+	}
+	return &Result{
+		Perm:       d.perm,
+		InvPerm:    inv,
+		NumHubs:    len(hubs),
+		Blocks:     d.blocks,
+		Iterations: d.maxDepth,
+		Tree:       root,
+	}, nil
+}
+
+// dissector carries the recursion state of one NestedDissection.Run.
+type dissector struct {
+	und     [][]int
+	leafMax int
+	perm    []int
+	blocks  []int
+	cursor  int
+	// mark[u]: 0 free, the current positive stamp = in working region,
+	// negative = consumed (separator, claimed by a component, or leaf).
+	mark     []int
+	stamp    int
+	level    []int
+	maxDepth int
+}
+
+// components returns the connected components among nodes with mark 0 (or,
+// when region is non-nil, among region nodes with the current stamp), each
+// sorted ascending, ordered by smallest contained id. Visited nodes are
+// marked consumed.
+func (d *dissector) components(region []int) [][]int {
+	var comps [][]int
+	seeds := region
+	if seeds == nil {
+		seeds = make([]int, len(d.und))
+		for i := range seeds {
+			seeds[i] = i
+		}
+	}
+	avail := func(u int) bool {
+		if region == nil {
+			return d.mark[u] == 0
+		}
+		return d.mark[u] == d.stamp
+	}
+	for _, s := range seeds {
+		if !avail(s) {
+			continue
+		}
+		comp := []int{s}
+		d.mark[s] = -1
+		for i := 0; i < len(comp); i++ {
+			for _, v := range d.und[comp[i]] {
+				if avail(v) {
+					d.mark[v] = -1
+					comp = append(comp, v)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// dissect orders one connected region: leaf if it fits the budget,
+// otherwise separator + recursion on the remainders.
+func (d *dissector) dissect(nodes []int, depth int) *PartitionTree {
+	if depth > d.maxDepth {
+		d.maxDepth = depth
+	}
+	if len(nodes) <= d.leafMax {
+		return d.leaf(nodes)
+	}
+
+	d.stamp++
+	s := d.stamp
+	for _, u := range nodes {
+		d.mark[u] = s
+	}
+
+	// Pseudo-peripheral start: BFS from the smallest id to a farthest
+	// node, then BFS again from there — the second tree's levels stretch
+	// across (an approximation of) the region's diameter, making thin
+	// level sets good separators.
+	far, _ := d.bfs(nodes[0], s)
+	_, maxLvl := d.bfs(far, s)
+
+	counts := make([]int, maxLvl+1)
+	for _, u := range nodes {
+		counts[d.level[u]]++
+	}
+	// Separator = the smallest level set whose removal leaves at least a
+	// quarter of the region on each side of the BFS tree; if no level is
+	// that balanced (shallow trees), fall back to the median level.
+	total := len(nodes)
+	bestL, bestSize := -1, -1
+	cum := 0
+	for l := 1; l <= maxLvl; l++ {
+		cum += counts[l-1]
+		if 4*cum >= total && 4*cum <= 3*total && (bestSize == -1 || counts[l] < bestSize) {
+			bestL, bestSize = l, counts[l]
+		}
+	}
+	if bestL == -1 {
+		bestL = maxLvl / 2
+		if bestL < 1 {
+			bestL = 1
+		}
+	}
+
+	sep := make([]int, 0, counts[bestL])
+	for _, u := range nodes {
+		if d.level[u] == bestL {
+			sep = append(sep, u)
+			d.mark[u] = -1
+		}
+	}
+	comps := d.components(nodes)
+
+	t := &PartitionTree{Block: -1, SepNodes: sep}
+	for _, c := range comps {
+		t.Children = append(t.Children, d.dissect(c, depth+1))
+	}
+	t.Lo = t.Children[0].Lo
+	t.Hi = t.Children[len(t.Children)-1].Hi
+	return t
+}
+
+// bfs runs breadth-first search from start over nodes carrying stamp s,
+// filling d.level, and returns the farthest node (deepest level, ties by
+// smallest id) and the maximum level. The stamp is negated along the way
+// and restored, so the caller's region marking survives.
+func (d *dissector) bfs(start, s int) (far, maxLvl int) {
+	order := []int{start}
+	d.mark[start] = -s
+	d.level[start] = 0
+	for i := 0; i < len(order); i++ {
+		u := order[i]
+		for _, v := range d.und[u] {
+			if d.mark[v] == s {
+				d.mark[v] = -s
+				d.level[v] = d.level[u] + 1
+				order = append(order, v)
+			}
+		}
+	}
+	far = start
+	for _, u := range order {
+		d.mark[u] = s
+		if d.level[u] > d.level[far] || (d.level[u] == d.level[far] && u < far) {
+			far = u
+		}
+	}
+	return far, d.level[order[len(order)-1]]
+}
+
+// leaf assigns one diagonal block: nodes ordered by ascending degree
+// within the leaf (ties by id), the same heuristic SlashBurn applies to
+// its spoke blocks.
+func (d *dissector) leaf(nodes []int) *PartitionTree {
+	d.stamp++
+	s := d.stamp
+	for _, u := range nodes {
+		d.mark[u] = s
+	}
+	deg := make(map[int]int, len(nodes))
+	for _, u := range nodes {
+		c := 0
+		for _, v := range d.und[u] {
+			if d.mark[v] == s {
+				c++
+			}
+		}
+		deg[u] = c
+	}
+	ord := append([]int(nil), nodes...)
+	sort.Slice(ord, func(i, j int) bool {
+		if deg[ord[i]] != deg[ord[j]] {
+			return deg[ord[i]] < deg[ord[j]]
+		}
+		return ord[i] < ord[j]
+	})
+	lo := d.cursor
+	for _, u := range ord {
+		d.perm[u] = d.cursor
+		d.cursor++
+		d.mark[u] = -1
+	}
+	block := len(d.blocks)
+	d.blocks = append(d.blocks, len(nodes))
+	return &PartitionTree{Lo: lo, Hi: d.cursor, Block: block}
+}

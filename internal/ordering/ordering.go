@@ -1,0 +1,359 @@
+// Package ordering defines the pluggable node-reordering engines behind
+// BEAR's preprocessing phase (Algorithm 1, lines 2-3). An Ordering maps a
+// graph to a hub/spoke split, a block partition of the spokes, and a
+// per-block node order — the structure every downstream stage (block LU,
+// Schur complement, the Lemma-1 single-seed fast path, incremental dirty-
+// block rebuilds, future block-level sharding) is built on.
+//
+// Every engine must satisfy the same contract, spelled out on Result and
+// enforced by Validate:
+//
+//   - the permutation is a bijection over the n nodes, with spokes in
+//     positions [0, n-NumHubs) and hubs in the final NumHubs positions;
+//   - Blocks partitions the spokes: sizes are positive and sum to
+//     n - NumHubs, block i covering the positions after blocks 0..i-1;
+//   - blocks are mutually disconnected once the hubs are removed — no
+//     undirected edge joins spokes of two different blocks, which is what
+//     makes the spoke-spoke block H₁₁ block diagonal (Lemma 1).
+//
+// Any permutation meeting the contract yields exact query results; engines
+// differ only in fill-in of the inverted factors, Schur size, preprocess
+// time, and query speed. Three engines are built in — SlashBurn (the
+// paper's choice), minimum-degree elimination, and nested dissection — and
+// more can be added with Register.
+package ordering
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"bear/internal/graph"
+)
+
+// Default is the engine an empty ordering name selects: the paper's
+// SlashBurn.
+const Default = "slashburn"
+
+// Params carries the tuning inputs an engine derives its own knobs from.
+type Params struct {
+	// K is the hub-selection budget, the SlashBurn wave size of the paper
+	// (k = 0.001·n by default, clamped to at least 1). Engines without a
+	// wave notion reuse it as their scale knob: nested dissection stops
+	// recursing at components of max(32, 2K) nodes. Must be positive.
+	K int
+}
+
+// Result is an ordering's output: the node permutation plus the structure
+// the permutation encodes. In the new order, spoke nodes occupy positions
+// [0, n-NumHubs) grouped into the diagonal blocks of H₁₁, and hubs occupy
+// the final NumHubs positions. BEAR later refines the hub order by degree
+// in the Schur complement (Algorithm 1 line 7); the spoke order is final.
+type Result struct {
+	Perm    []int // Perm[old node id] = new position
+	InvPerm []int // InvPerm[new position] = old node id
+	NumHubs int   // n₂
+	Blocks  []int // sizes of the diagonal blocks of H₁₁, in position order
+
+	// Iterations is an engine-specific work counter: hub-removal waves for
+	// slashburn, mass-eliminated (supernode-absorbed) nodes for mindeg,
+	// recursion depth for nd. Purely observational.
+	Iterations int
+
+	// Tree is the recursion tree of a nested-dissection ordering, nil for
+	// other engines. It is the partition structure block-level sharding
+	// needs: each leaf names one diagonal block, each internal node names
+	// the separator (hub subset) that splits its region.
+	Tree *PartitionTree
+}
+
+// SumSqBlocks returns Σ n₁ᵢ², the quantity the paper's complexity analysis
+// (and Table 4) is expressed in.
+func (r *Result) SumSqBlocks() int64 {
+	var s int64
+	for _, b := range r.Blocks {
+		s += int64(b) * int64(b)
+	}
+	return s
+}
+
+// PartitionTree is the recursion tree of a nested-dissection ordering.
+// Leaves are in left-to-right position order, so the blocks covered by any
+// subtree occupy one contiguous range of spoke positions — the property a
+// future sharding layer needs to assign subtrees to shards while
+// replicating only the (small) separator/hub factors.
+type PartitionTree struct {
+	// Lo and Hi bound the final spoke positions covered by this subtree's
+	// leaf blocks: [Lo, Hi).
+	Lo, Hi int
+	// Block indexes Result.Blocks for a leaf node; -1 for internal nodes.
+	Block int
+	// SepNodes lists the original node ids of the separator this internal
+	// node removed (always empty on leaves). Every separator node is a hub
+	// in the final ordering.
+	SepNodes []int
+	// Children are the sub-regions the separator disconnected, in position
+	// order. Empty on leaves.
+	Children []*PartitionTree
+}
+
+// Leaves appends the tree's leaf nodes in position order to dst and
+// returns it.
+func (t *PartitionTree) Leaves(dst []*PartitionTree) []*PartitionTree {
+	if t == nil {
+		return dst
+	}
+	if len(t.Children) == 0 {
+		return append(dst, t)
+	}
+	for _, c := range t.Children {
+		dst = c.Leaves(dst)
+	}
+	return dst
+}
+
+// Ordering is one reordering engine. Implementations must be stateless and
+// safe for concurrent use; Run must be deterministic for a given graph and
+// params (rebuild equivalence tests depend on it).
+type Ordering interface {
+	// Name returns the engine's registry name, a lowercase identifier
+	// stable across releases (it is persisted in snapshots).
+	Name() string
+	// Run orders g. The graph is viewed as undirected (out ∪ in edges), as
+	// H has a nonzero wherever either direction has an edge. The returned
+	// Result must satisfy the package contract (see Validate).
+	Run(g *graph.Graph, p Params) (*Result, error)
+}
+
+// NonReusable is an optional interface for engines whose partitions must
+// not be reused across graph mutations (for example, orderings whose block
+// structure depends on edge weights). Incremental rebuilds fall back to a
+// full pass for such engines; engines not implementing it are reusable.
+type NonReusable interface {
+	// ReusablePartition reports whether dirty-block rebuilds may reuse a
+	// partition this engine produced after the graph has changed.
+	ReusablePartition() bool
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Ordering{}
+	builtin  []string
+)
+
+func init() {
+	for _, o := range []Ordering{SlashBurn{}, MinDegree{}, NestedDissection{}} {
+		if err := Register(o); err != nil {
+			panic(err)
+		}
+		builtin = append(builtin, o.Name())
+	}
+	sort.Strings(builtin)
+}
+
+// Register adds an engine to the registry, making it selectable by name
+// through core.Options.Ordering, the bearserve -ordering flag, and PUT
+// ?ordering=. It errors on an empty or duplicate name.
+func Register(o Ordering) error {
+	name := o.Name()
+	if name == "" {
+		return fmt.Errorf("ordering: engine with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("ordering: engine %q already registered", name)
+	}
+	registry[name] = o
+	return nil
+}
+
+// Get resolves an engine by name; the empty string selects Default. An
+// unknown name is an explicit error (callers surface it before any
+// preprocessing work, and snapshot restore refuses the file).
+func Get(name string) (Ordering, error) {
+	if name == "" {
+		name = Default
+	}
+	regMu.RLock()
+	o, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("ordering: unknown ordering %q (have %v)", name, Names())
+	}
+	return o, nil
+}
+
+// Names lists every registered engine, sorted. The set is closed at
+// runtime, so it can back bounded metric label sets.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Builtin lists the engines compiled into the package (excluding any
+// runtime registrations), sorted — the set documentation and CI doc-drift
+// guards check against.
+func Builtin() []string {
+	return append([]string(nil), builtin...)
+}
+
+// Normalize maps the empty name to Default and leaves every other name
+// unchanged; it does not check registration.
+func Normalize(name string) string {
+	if name == "" {
+		return Default
+	}
+	return name
+}
+
+// Reusable reports whether incremental rebuilds may reuse a partition
+// produced by the named engine (empty = Default). Unknown engines report
+// false — without the engine, there is no way to know its contract, so
+// the rebuild path conservatively runs a full pass.
+func Reusable(name string) bool {
+	o, err := Get(name)
+	if err != nil {
+		return false
+	}
+	if nr, ok := o.(NonReusable); ok {
+		return nr.ReusablePartition()
+	}
+	return true
+}
+
+// CheckStructure verifies the O(n) part of the contract — permutation
+// bijection, hub/spoke split, block sizes — without touching edges. Core
+// runs it after every ordering; the full edge-closure check lives in
+// Validate (property tests).
+func CheckStructure(n int, r *Result) error {
+	if r == nil {
+		return fmt.Errorf("ordering: nil result")
+	}
+	if r.NumHubs < 0 || r.NumHubs > n {
+		return fmt.Errorf("ordering: hub count %d outside [0,%d]", r.NumHubs, n)
+	}
+	if len(r.Perm) != n || len(r.InvPerm) != n {
+		return fmt.Errorf("ordering: permutation length %d/%d, want %d", len(r.Perm), len(r.InvPerm), n)
+	}
+	for node, pos := range r.Perm {
+		if pos < 0 || pos >= n {
+			return fmt.Errorf("ordering: node %d mapped to position %d outside [0,%d)", node, pos, n)
+		}
+		if r.InvPerm[pos] != node {
+			return fmt.Errorf("ordering: InvPerm[%d]=%d does not invert Perm[%d]=%d",
+				pos, r.InvPerm[pos], node, pos)
+		}
+	}
+	n1 := n - r.NumHubs
+	sum := 0
+	for i, b := range r.Blocks {
+		if b <= 0 {
+			return fmt.Errorf("ordering: block %d has non-positive size %d", i, b)
+		}
+		sum += b
+	}
+	if sum != n1 {
+		return fmt.Errorf("ordering: blocks sum to %d, want n1=%d", sum, n1)
+	}
+	return nil
+}
+
+// Validate verifies the full interface contract of a result against its
+// graph: CheckStructure plus block closure — removing the hubs must leave
+// no undirected edge between spokes of different blocks, the property that
+// makes H₁₁ block diagonal. O(n + m); used by the shared property-test
+// harness so future engines get contract coverage for free.
+func Validate(g *graph.Graph, r *Result) error {
+	n := g.N()
+	if err := CheckStructure(n, r); err != nil {
+		return err
+	}
+	n1 := n - r.NumHubs
+	// blockOf[pos] = block index for spoke positions, -1 for hubs.
+	blockOf := make([]int, n)
+	pos := 0
+	for i, b := range r.Blocks {
+		for j := 0; j < b; j++ {
+			blockOf[pos] = i
+			pos++
+		}
+	}
+	for ; pos < n; pos++ {
+		blockOf[pos] = -1
+	}
+	for u := 0; u < n; u++ {
+		pu := r.Perm[u]
+		if pu >= n1 {
+			continue
+		}
+		dst, _ := g.Out(u)
+		for _, v := range dst {
+			pv := r.Perm[v]
+			if pv < n1 && blockOf[pv] != blockOf[pu] {
+				return fmt.Errorf("ordering: edge %d->%d joins spokes of blocks %d and %d",
+					u, v, blockOf[pu], blockOf[pv])
+			}
+		}
+	}
+	if r.Tree != nil {
+		if err := validateTree(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateTree checks a PartitionTree against its Result: leaves must
+// enumerate the blocks in position order with consistent [Lo,Hi) ranges,
+// and every separator node must be a hub.
+func validateTree(r *Result) error {
+	leaves := r.Tree.Leaves(nil)
+	if len(leaves) != len(r.Blocks) {
+		return fmt.Errorf("ordering: partition tree has %d leaves, want %d blocks", len(leaves), len(r.Blocks))
+	}
+	pos := 0
+	for i, leaf := range leaves {
+		if leaf.Block != i {
+			return fmt.Errorf("ordering: leaf %d labels block %d", i, leaf.Block)
+		}
+		if leaf.Lo != pos || leaf.Hi != pos+r.Blocks[i] {
+			return fmt.Errorf("ordering: leaf %d covers [%d,%d), want [%d,%d)",
+				i, leaf.Lo, leaf.Hi, pos, pos+r.Blocks[i])
+		}
+		pos += r.Blocks[i]
+	}
+	n1 := len(r.Perm) - r.NumHubs
+	seps := 0
+	var walk func(t *PartitionTree) error
+	walk = func(t *PartitionTree) error {
+		if len(t.Children) == 0 && len(t.SepNodes) > 0 {
+			return fmt.Errorf("ordering: leaf carries a separator")
+		}
+		for _, u := range t.SepNodes {
+			if r.Perm[u] < n1 {
+				return fmt.Errorf("ordering: separator node %d is not a hub", u)
+			}
+			seps++
+		}
+		for _, c := range t.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(r.Tree); err != nil {
+		return err
+	}
+	if seps != r.NumHubs {
+		return fmt.Errorf("ordering: tree separators cover %d hubs, want %d", seps, r.NumHubs)
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package ordering
+
+import (
+	"bear/internal/graph"
+	"bear/internal/slashburn"
+)
+
+// SlashBurn is the paper's ordering (Kang & Faloutsos, ICDM 2011) behind
+// the Ordering interface: repeatedly burn the K highest-degree nodes as
+// hubs, peel the disconnected remainder components off as spoke blocks,
+// and recurse on the giant connected component. It produces many small
+// blocks on power-law graphs — the property BEAR's complexity analysis
+// and the Lemma-1 single-seed fast path rely on — and is the Default.
+//
+// The engine delegates to internal/slashburn unchanged, so selecting it
+// (explicitly or by default) is bit-identical to the pre-interface code.
+type SlashBurn struct{}
+
+// Name implements Ordering.
+func (SlashBurn) Name() string { return "slashburn" }
+
+// Run implements Ordering. It never errors: SlashBurn is defined for every
+// graph and always selects at least one hub.
+func (SlashBurn) Run(g *graph.Graph, p Params) (*Result, error) {
+	sb := slashburn.Run(g, p.K)
+	return &Result{
+		Perm:       sb.Perm,
+		InvPerm:    sb.InvPerm,
+		NumHubs:    sb.NumHubs,
+		Blocks:     sb.Blocks,
+		Iterations: sb.Iterations,
+	}, nil
+}

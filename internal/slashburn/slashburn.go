@@ -4,6 +4,14 @@
 // (hubs), peel off the connected components that detach from the giant
 // connected component (spokes), and recurse on the GCC until it shrinks
 // below k.
+//
+// This package is the algorithm only; engine selection lives in
+// internal/ordering, where SlashBurn is registered as the default engine.
+// Callers there rely on two properties beyond the Result layout: runs are
+// deterministic (same graph and k produce a bit-identical Result — ties
+// break on node id everywhere), and blocks are closed under the
+// symmetrized edge relation (no edge joins spokes of different blocks),
+// which is what makes the factors of H₁₁ block diagonal (Lemma 1).
 package slashburn
 
 import (
@@ -36,7 +44,10 @@ func (r *Result) SumSqBlocks() int64 {
 }
 
 // Run executes SlashBurn with wave size k (the paper uses k = 0.001·n,
-// clamped to at least 1). The graph is viewed as undirected.
+// clamped to at least 1; k < 1 panics — callers resolve the default).
+// The graph is viewed as undirected. NumHubs can be 0 on graphs whose
+// GCC never exceeds k (e.g. a single node); callers must tolerate an
+// empty hub set.
 func Run(g *graph.Graph, k int) *Result {
 	n := g.N()
 	if k <= 0 {

@@ -206,15 +206,30 @@ func (s *Server) exportGraphMetrics(name string, e *entry) {
 
 	stage := func(stageName string, sel func(st bear.Stats) time.Duration) {
 		m.reg.GaugeFunc("bear_preprocess_stage_seconds",
-			"Preprocessing time of the last completed pass, by Algorithm 1 stage (slashburn, block_lu, schur_assembly, schur_factor, total).",
+			"Preprocessing time of the last completed pass, by Algorithm 1 stage (ordering, block_lu, schur_assembly, schur_factor, total).",
 			func() float64 { return sel(dyn.Precomputed().Stats).Seconds() },
 			g, obsv.L("stage", stageName))
 	}
-	stage("slashburn", func(st bear.Stats) time.Duration { return st.TimeSlashBurn })
+	stage("ordering", func(st bear.Stats) time.Duration { return st.TimeOrdering })
 	stage("block_lu", func(st bear.Stats) time.Duration { return st.TimeLU1 })
 	stage("schur_assembly", func(st bear.Stats) time.Duration { return st.TimeSchur })
 	stage("schur_factor", func(st bear.Stats) time.Duration { return st.TimeLU2 })
 	stage("total", func(st bear.Stats) time.Duration { return st.TimeTotal })
+
+	// One series per registered engine (a closed set, so cardinality is
+	// bounded): 1 for the engine that produced the current index, 0
+	// otherwise — rebuild swaps are reflected at scrape time.
+	for _, name := range bear.Orderings() {
+		name := name
+		m.reg.GaugeFunc("bear_ordering_selected",
+			"1 for the ordering engine that produced the graph's current index (see Options.Ordering), 0 for the others.",
+			func() float64 {
+				if bear.NormalizeOrdering(dyn.Options().Ordering) == name {
+					return 1
+				}
+				return 0
+			}, g, obsv.L("ordering", name))
+	}
 
 	m.reg.GaugeFunc("bear_graph_nodes", "Nodes in the graph.",
 		func() float64 { return float64(dyn.Graph().N()) }, g)
@@ -233,11 +248,11 @@ func (s *Server) exportGraphMetrics(name string, e *entry) {
 		func() float64 { return float64(dyn.Precomputed().Bytes()) }, g)
 
 	// Last completed rebuild, whichever path it took. Zero until the first
-	// rebuild finishes; incremental rebuilds report zero slashburn time
-	// (the ordering is reused) while splice is nonzero only for them.
+	// rebuild finishes; incremental rebuilds report zero ordering time
+	// (the partition is reused) while splice is nonzero only for them.
 	rstage := func(stageName string, sel func(rep bear.RebuildReport) time.Duration) {
 		m.reg.GaugeFunc("bear_rebuild_stage_seconds",
-			"Stage split of the last completed rebuild (slashburn, block_lu, splice, schur_assembly, schur_factor, total). Incremental rebuilds spend nothing on slashburn; full rebuilds spend nothing on splice.",
+			"Stage split of the last completed rebuild (ordering, block_lu, splice, schur_assembly, schur_factor, total). Incremental rebuilds spend nothing on the ordering; full rebuilds spend nothing on splice.",
 			func() float64 {
 				rep, ok := dyn.LastRebuild()
 				if !ok {
@@ -246,7 +261,7 @@ func (s *Server) exportGraphMetrics(name string, e *entry) {
 				return sel(rep).Seconds()
 			}, g, obsv.L("stage", stageName))
 	}
-	rstage("slashburn", func(rep bear.RebuildReport) time.Duration { return rep.TimeSlashBurn })
+	rstage("ordering", func(rep bear.RebuildReport) time.Duration { return rep.TimeOrdering })
 	rstage("block_lu", func(rep bear.RebuildReport) time.Duration { return rep.TimeBlockLU })
 	rstage("splice", func(rep bear.RebuildReport) time.Duration { return rep.TimeSplice })
 	rstage("schur_assembly", func(rep bear.RebuildReport) time.Duration { return rep.TimeSchurAssembly })

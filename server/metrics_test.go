@@ -94,7 +94,7 @@ func TestMetricsScrape(t *testing.T) {
 		`bear_graph_pending_updates{graph="g"} 0`,
 		`bear_graph_rebuilding{graph="g"} 0`,
 		`bear_precomputed_bytes{graph="g"}`,
-		`bear_preprocess_stage_seconds{graph="g",stage="slashburn"}`,
+		`bear_preprocess_stage_seconds{graph="g",stage="ordering"}`,
 		`bear_preprocess_stage_seconds{graph="g",stage="block_lu"}`,
 		`bear_preprocess_stage_seconds{graph="g",stage="schur_assembly"}`,
 		`bear_preprocess_stage_seconds{graph="g",stage="schur_factor"}`,
@@ -289,5 +289,41 @@ func TestSnapshotRestoreKeepsGraphSeries(t *testing.T) {
 	}
 	if strings.Contains(body, `graph="old"`) {
 		t.Error("pre-restore graph series survived the restore")
+	}
+}
+
+// TestOrderingSelectionAndMetrics: the PUT ?ordering= override must be
+// reflected in the graph info and in the bear_ordering_selected gauge
+// family — exactly one engine at 1 per graph; an unknown name is a 400.
+func TestOrderingSelectionAndMetrics(t *testing.T) {
+	s := New()
+	s.DefaultOrdering = "" // slashburn
+	ts := newHTTPTestServer(t, s)
+	base := ts.URL + "/v1/graphs"
+	doJSON(t, "PUT", base+"/md?ordering=mindeg", edgeListBody(), http.StatusCreated)
+	doJSON(t, "PUT", base+"/def", edgeListBody(), http.StatusCreated)
+	doJSON(t, "PUT", base+"/bad?ordering=no-such-engine", edgeListBody(), http.StatusBadRequest)
+
+	info := doJSON(t, "GET", base+"/md", "", http.StatusOK)
+	if got := info["ordering"]; got != "mindeg" {
+		t.Errorf("info ordering = %v, want mindeg", got)
+	}
+	if got := doJSON(t, "GET", base+"/def", "", http.StatusOK)["ordering"]; got != "slashburn" {
+		t.Errorf("default info ordering = %v, want slashburn", got)
+	}
+
+	body := scrape(t, ts.URL)
+	for _, want := range []string{
+		`bear_ordering_selected{graph="md",ordering="mindeg"} 1`,
+		`bear_ordering_selected{graph="md",ordering="slashburn"} 0`,
+		`bear_ordering_selected{graph="def",ordering="slashburn"} 1`,
+		`bear_ordering_selected{graph="def",ordering="mindeg"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if strings.Contains(body, `graph="bad"`) {
+		t.Error("rejected PUT left metric series behind")
 	}
 }

@@ -105,6 +105,12 @@ type Server struct {
 	// Set from the bearserve -kernel flag; see internal/sparse/kernel.
 	DefaultKernel string
 
+	// DefaultOrdering is the reordering engine applied to graphs
+	// registered over the API without an explicit ?ordering= choice: ""
+	// or "slashburn" (the paper's), "mindeg", "nd". Set from the
+	// bearserve -ordering flag; see internal/ordering.
+	DefaultOrdering string
+
 	sem         chan struct{}
 	semOnce     sync.Once
 	cache       *resultcache.Cache
@@ -332,6 +338,7 @@ type GraphInfo struct {
 	Bytes     int64     `json:"precomputed_bytes"`
 	RestartC  float64   `json:"restart_probability"`
 	DropTol   float64   `json:"drop_tolerance"`
+	Ordering  string    `json:"ordering"`
 	Pending   int       `json:"pending_updates"`
 	Rebuild   bool      `json:"rebuilding"`
 	CreatedAt time.Time `json:"created_at"`
@@ -351,6 +358,7 @@ func (e *entry) info(name string) GraphInfo {
 		Bytes:     p.Bytes(),
 		RestartC:  p.C,
 		DropTol:   e.opts.DropTol,
+		Ordering:  bear.NormalizeOrdering(e.opts.Ordering),
 		Pending:   e.dyn.PendingNodes(),
 		Rebuild:   e.dyn.RebuildInProgress(),
 		CreatedAt: e.created,
@@ -411,6 +419,11 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		// Validity is checked by Preprocess before any work happens, so an
 		// unknown layout comes back as a clean 400 below.
 		opts.Kernel = v
+	}
+	opts.Ordering = s.DefaultOrdering
+	if v := q.Get("ordering"); v != "" {
+		// Unknown engines are rejected by Preprocess up front → 400 below.
+		opts.Ordering = v
 	}
 	body := http.MaxBytesReader(w, r.Body, s.MaxBodyBytes)
 	g, err := sniffLoad(body)

@@ -33,6 +33,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDynamicUpdate -fuzztime=30s ./internal/core/
 	$(GO) test -run='^$$' -fuzz=FuzzSniffLoad -fuzztime=30s ./server/
 	$(GO) test -run='^$$' -fuzz=FuzzReadSnapshot -fuzztime=30s ./server/
+	$(GO) test -run='^$$' -fuzz=FuzzCandidatesRequest -fuzztime=30s ./server/
 
 # Boot 3 real shards + a bearfront, kill one shard under load, assert
 # failover/ejection/repair over real sockets.

@@ -123,6 +123,28 @@ func LoadPrecomputed(r io.Reader) (*Precomputed, error) { return core.Load(r) }
 // It runs in O(n log k) with a bounded min-heap.
 func TopK(scores []float64, k int) []int { return core.TopK(scores, k) }
 
+// TopKExcluding is TopK restricted to nodes for which skip returns false;
+// a nil skip is TopK. Ranking semantics are identical.
+func TopKExcluding(scores []float64, k int, skip func(int) bool) []int {
+	return core.TopKExcluding(scores, k, skip)
+}
+
+// TopKCandidates ranks link-prediction candidates for seed: the top-k
+// scored nodes excluding the seed itself and every node it already points
+// at. Pair it with Dynamic.Query or QueryBatch scores.
+func TopKCandidates(g *Graph, scores []float64, seed, k int) []int {
+	return core.TopKCandidates(g, scores, seed, k)
+}
+
+// TopKResult is the answer to Dynamic.QueryTopK / QueryTopKCtx — the
+// hybrid push+block-elimination top-k query whose node set is provably
+// identical to TopK over the full exact solve. Stats reports whether the
+// certified push bound pruned the exact solve.
+type TopKResult = core.TopKResult
+
+// TopKStats reports how a hybrid top-k query was answered.
+type TopKStats = core.TopKStats
+
 // SolveIterative computes the RWR vector with the classic power iteration
 // (Equation 3 of the paper) — useful as an independent cross-check of BEAR
 // results and as the no-preprocessing baseline. q is the starting

@@ -411,6 +411,21 @@ func (c *Client) PageRank(ctx context.Context, name string, top int) ([]server.S
 
 // PPR returns top-k personalized-PageRank results for a weighted seed set.
 func (c *Client) PPR(ctx context.Context, name string, seeds map[int]float64, top int) ([]server.ScoredNode, error) {
+	// Mirror the server's all-zero rejection so the obviously-degenerate
+	// request never goes on the wire (zero weights are legal individually,
+	// but a set with no mass describes no starting distribution).
+	if len(seeds) > 0 {
+		allZero := true
+		for _, w := range seeds {
+			if w != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			return nil, fmt.Errorf("client: seed weights must not all be zero")
+		}
+	}
 	body := struct {
 		Seeds map[string]float64 `json:"seeds"`
 		Top   int                `json:"top"`
@@ -448,6 +463,39 @@ func (c *Client) QueryBatch(ctx context.Context, name string, seeds []int, top i
 	// Like PPR, a read served over POST: replaying it is safe, so it
 	// retries like the GET queries.
 	err = c.do(ctx, http.MethodPost, "/v1/graphs/"+url.PathEscape(name)+"/batch", body, true, &out)
+	return out.Results, err
+}
+
+// TopK returns the k highest-scoring nodes for seed through the server's
+// hybrid top-k path. The node set is identical to Query with top=k; pruned
+// reports whether local-push bounds certified the set without running the
+// exact solve (in which case scores are certified estimates, not exact).
+func (c *Client) TopK(ctx context.Context, name string, seed, k int) (results []server.ScoredNode, pruned bool, err error) {
+	path := fmt.Sprintf("/v1/graphs/%s/topk?seed=%d&k=%d", url.PathEscape(name), seed, k)
+	var out struct {
+		Results []server.ScoredNode `json:"results"`
+		Pruned  bool                `json:"pruned"`
+	}
+	err = c.do(ctx, http.MethodGet, path, nil, true, &out)
+	return out.Results, out.Pruned, err
+}
+
+// Candidates returns per-seed link-prediction candidates: for each seed,
+// the k highest-scoring nodes excluding the seed itself and its existing
+// out-neighbors. Slot i corresponds to seeds[i].
+func (c *Client) Candidates(ctx context.Context, name string, seeds []int, k int) ([]server.CandidateSeedResult, error) {
+	body, err := json.Marshal(struct {
+		Seeds []int `json:"seeds"`
+		K     int   `json:"k"`
+	}{Seeds: seeds, K: k})
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Results []server.CandidateSeedResult `json:"results"`
+	}
+	// A read served over POST, like PPR and QueryBatch: safe to replay.
+	err = c.do(ctx, http.MethodPost, "/v1/graphs/"+url.PathEscape(name)+"/candidates", body, true, &out)
 	return out.Results, err
 }
 

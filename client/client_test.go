@@ -403,3 +403,77 @@ func TestClientClusterFailover(t *testing.T) {
 		t.Fatalf("live front hit %d times, want 2", hits)
 	}
 }
+
+func TestClientTopKAndCandidates(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+	if _, err := c.Upload(ctx, "g", graphBody(t), UploadOptions{}); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+
+	results, _, err := c.TopK(ctx, "g", 3, 5)
+	if err != nil {
+		t.Fatalf("TopK: %v", err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("TopK returned %d results, want 5", len(results))
+	}
+	// The hybrid node set must match the exact query endpoint's ranking.
+	single, err := c.Query(ctx, "g", 3, 5)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	want := map[int]bool{}
+	for _, r := range single {
+		want[r.Node] = true
+	}
+	for _, r := range results {
+		if !want[r.Node] {
+			t.Fatalf("TopK node %d not in exact top-5 %v", r.Node, single)
+		}
+	}
+
+	cands, err := c.Candidates(ctx, "g", []int{3, 10}, 4)
+	if err != nil {
+		t.Fatalf("Candidates: %v", err)
+	}
+	if len(cands) != 2 {
+		t.Fatalf("Candidates returned %d slots, want 2", len(cands))
+	}
+	for i, slot := range cands {
+		if got, want := slot.Seed, []int{3, 10}[i]; got != want {
+			t.Fatalf("slot %d seed %d, want %d", i, got, want)
+		}
+		for _, cand := range slot.Candidates {
+			if cand.Node == slot.Seed {
+				t.Fatalf("seed %d recommended itself", slot.Seed)
+			}
+		}
+	}
+
+	if _, err := c.Candidates(ctx, "g", nil, 4); err == nil {
+		t.Fatal("empty candidates request accepted")
+	}
+	if _, _, err := c.TopK(ctx, "g", -1, 4); err == nil {
+		t.Fatal("negative seed accepted")
+	}
+}
+
+func TestClientPPRRejectsAllZero(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+	if _, err := c.Upload(ctx, "g", graphBody(t), UploadOptions{}); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	// The client rejects the degenerate distribution locally, before any
+	// request goes out — same rule the server enforces with a 400.
+	if _, err := c.PPR(ctx, "g", map[int]float64{0: 0, 3: 0}, 5); err == nil {
+		t.Fatal("all-zero seed weights accepted")
+	} else if err.Error() != "client: seed weights must not all be zero" {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// Mixed zero and positive weights remain valid.
+	if _, err := c.PPR(ctx, "g", map[int]float64{0: 0, 3: 0.5}, 5); err != nil {
+		t.Fatalf("mixed weights rejected: %v", err)
+	}
+}

@@ -161,3 +161,58 @@ func TestCmdVerify(t *testing.T) {
 		t.Fatal("expected missing-flags error")
 	}
 }
+
+func TestCmdCandidates(t *testing.T) {
+	graphPath := writeTestGraph(t)
+	out := filepath.Join(t.TempDir(), "cand.tsv")
+	if err := cmdCandidates([]string{"-graph", graphPath, "-k", "3", "-out", out}); err != nil {
+		t.Fatalf("cmdCandidates: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if lines[0] != "# seed\tcandidate\tscore" {
+		t.Fatalf("missing header, got %q", lines[0])
+	}
+	body := lines[1:]
+	if len(body) == 0 {
+		t.Fatal("no candidate rows written")
+	}
+	// Every node appears as a seed at most k times, and no row recommends
+	// the seed to itself.
+	counts := map[string]int{}
+	for _, line := range body {
+		fields := strings.Split(line, "\t")
+		if len(fields) != 3 {
+			t.Fatalf("row %q has %d fields", line, len(fields))
+		}
+		if fields[0] == fields[1] {
+			t.Fatalf("row %q recommends the seed to itself", line)
+		}
+		counts[fields[0]]++
+	}
+	for seed, n := range counts {
+		if n > 3 {
+			t.Fatalf("seed %s has %d candidates, want <= 3", seed, n)
+		}
+	}
+
+	// Explicit seed list and error paths.
+	if err := cmdCandidates([]string{"-graph", graphPath, "-seeds", "0, 5", "-out", filepath.Join(t.TempDir(), "x.tsv")}); err != nil {
+		t.Fatalf("explicit seeds: %v", err)
+	}
+	if err := cmdCandidates([]string{"-graph", graphPath, "-seeds", "bogus"}); err == nil {
+		t.Fatal("expected bad-seed error")
+	}
+	if err := cmdCandidates([]string{"-graph", graphPath, "-seeds", "99999"}); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if err := cmdCandidates([]string{"-graph", graphPath, "-k", "0"}); err == nil {
+		t.Fatal("expected bad-k error")
+	}
+	if err := cmdCandidates([]string{}); err == nil {
+		t.Fatal("expected missing-graph error")
+	}
+}

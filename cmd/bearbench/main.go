@@ -40,7 +40,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		bars   = fs.Bool("bars", false, "also draw log-scale bar charts like the paper's figures")
 		list   = fs.Bool("list", false, "list experiments and exit")
 
-		baseline = fs.String("baseline", "", "with -exp kernels, rebuild, or orderings: regression-gate mode, comparing measured ratios against the baselines in this BENCH_*.json (fails on >20% regression)")
+		baseline = fs.String("baseline", "", "with -exp kernels, rebuild, orderings, or topk: regression-gate mode, comparing measured ratios against the baselines in this BENCH_*.json (fails on >20% regression)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,8 +63,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 			check = bench.CheckRebuild
 		case "orderings":
 			check = bench.CheckOrderings
+		case "topk":
+			check = bench.CheckTopK
 		default:
-			return fmt.Errorf("-baseline only applies to -exp kernels, rebuild, or orderings")
+			return fmt.Errorf("-baseline only applies to -exp kernels, rebuild, orderings, or topk")
 		}
 		if err := check(cfg, *baseline); err != nil {
 			return fmt.Errorf("%s regression gate: %w", *exp, err)

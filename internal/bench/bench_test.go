@@ -229,9 +229,9 @@ func TestRunAllSmall(t *testing.T) {
 	}
 	// One table per: table4, fig1a(2), fig1b, fig2, fig6, fig7, fig8,
 	// fig10, fig11, fig12, ablation(3), scaling, amortize, refine,
-	// kernels, rebuild, orderings.
-	if len(tabs) != 20 {
-		t.Fatalf("RunAll produced %d tables, want 20", len(tabs))
+	// kernels, rebuild, orderings, topk.
+	if len(tabs) != 21 {
+		t.Fatalf("RunAll produced %d tables, want 21", len(tabs))
 	}
 	for _, tab := range tabs {
 		if tab.Title == "" || len(tab.Headers) == 0 || len(tab.Rows) == 0 {

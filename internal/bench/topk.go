@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+
+	"bear/internal/core"
+)
+
+// TopKResult is one measured (dataset, k) cell of the hybrid top-k sweep.
+// Speedup is the full-solve path's ns/query divided by the hybrid path's
+// ns/query on the same seeds — > 1 means the push-certified path is
+// faster. PrunedFrac is the fraction of seeds the push bound certified
+// without falling back to the exact block-restricted solve.
+type TopKResult struct {
+	Dataset    string  `json:"dataset"`
+	K          int     `json:"k"`
+	HybridNs   float64 `json:"hybrid_ns_per_query"`
+	FullNs     float64 `json:"full_ns_per_query"`
+	Speedup    float64 `json:"speedup"`
+	PrunedFrac float64 `json:"pruned_frac"`
+}
+
+// TopKBaseline is one committed speedup floor from BENCH_topk.json; the
+// CI gate fails when a (dataset, k) cell's measured speedup falls more
+// than 20% below it. As with the kernel gate, the dimensionless ratio
+// keeps the gate stable across machines of different absolute speed.
+type TopKBaseline struct {
+	Dataset string  `json:"dataset"`
+	K       int     `json:"k"`
+	Speedup float64 `json:"speedup"`
+}
+
+// topKSweepDatasets are the benchmark families the hybrid sweep runs on:
+// the paper ladder's small/medium members plus the hub-heavy email
+// analogue, where local push concentrates mass fastest.
+var topKSweepDatasets = []string{"routing", "email", "web"}
+
+// topKSweepKs are the result sizes measured; 10 is the headline cell the
+// acceptance gate cares about.
+var topKSweepKs = []int{1, 10, 100}
+
+// measureTopKSweep builds one Dynamic per dataset and times, for each k,
+// the hybrid QueryTopK path against the full-solve-then-rank path over
+// the same random seeds. The two paths are interleaved round-robin —
+// whole passes over the seed set — and each reports its best round, the
+// same min-of-batches protocol measureLayoutsNs uses and for the same
+// reason: back-to-back timing lets one slow host phase fabricate a
+// speedup.
+func measureTopKSweep(cfg Config) ([]TopKResult, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	const rounds = 5
+	var out []TopKResult
+	for _, name := range topKSweepDatasets {
+		d, err := DatasetByName(name)
+		if err != nil {
+			return nil, err
+		}
+		g := d.Make(cfg.Scale)
+		dyn, err := core.NewDynamic(g, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("topk %s: %w", name, err)
+		}
+		seeds := RandomSeeds(g.N(), cfg.QuerySeeds, rng)
+		for _, k := range topKSweepKs {
+			if k >= g.N() {
+				continue
+			}
+			// Warm both paths once so cache population (the normalized
+			// adjacency on the hybrid side) is not charged to round 1.
+			if _, err := dyn.QueryTopK(seeds[0], k); err != nil {
+				return nil, fmt.Errorf("topk %s k=%d: %w", name, k, err)
+			}
+			if _, err := dyn.Query(seeds[0]); err != nil {
+				return nil, err
+			}
+			bestHybrid, bestFull := math.Inf(1), math.Inf(1)
+			pruned := 0
+			for b := 0; b < rounds; b++ {
+				start := time.Now()
+				roundPruned := 0
+				for _, seed := range seeds {
+					res, err := dyn.QueryTopK(seed, k)
+					if err != nil {
+						return nil, fmt.Errorf("topk %s k=%d seed %d: %w", name, k, seed, err)
+					}
+					if res.Stats.Pruned {
+						roundPruned++
+					}
+				}
+				if ns := float64(time.Since(start).Nanoseconds()) / float64(len(seeds)); ns < bestHybrid {
+					bestHybrid = ns
+				}
+				pruned = roundPruned
+
+				start = time.Now()
+				for _, seed := range seeds {
+					scores, err := dyn.Query(seed)
+					if err != nil {
+						return nil, err
+					}
+					core.TopK(scores, k)
+				}
+				if ns := float64(time.Since(start).Nanoseconds()) / float64(len(seeds)); ns < bestFull {
+					bestFull = ns
+				}
+			}
+			out = append(out, TopKResult{
+				Dataset: name, K: k,
+				HybridNs: bestHybrid, FullNs: bestFull,
+				Speedup:    bestFull / bestHybrid,
+				PrunedFrac: float64(pruned) / float64(len(seeds)),
+			})
+		}
+	}
+	return out, nil
+}
+
+// RunTopK compares the hybrid push-certified top-k path against the
+// full-solve-then-rank path (bearbench -exp topk). The committed headline
+// numbers live in BENCH_topk.json.
+func RunTopK(cfg Config) ([]*Table, error) {
+	results, err := measureTopKSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Hybrid top-k: push-certified bounds vs full solve",
+		Note:    "interleaved min-of-5-rounds ns/query; pruned is the fraction of seeds certified without an exact solve",
+		Headers: []string{"dataset", "k", "hybrid ns/q", "full ns/q", "speedup", "pruned"},
+	}
+	for _, r := range results {
+		t.AddRow(r.Dataset, r.K,
+			fmt.Sprintf("%.0f", r.HybridNs), fmt.Sprintf("%.0f", r.FullNs),
+			fmt.Sprintf("%.2fx", r.Speedup), fmt.Sprintf("%.0f%%", 100*r.PrunedFrac))
+	}
+	return []*Table{t}, nil
+}
+
+// CheckTopK re-measures the hybrid sweep and compares it against the
+// baselines committed in BENCH_topk.json (bearbench -exp topk -baseline
+// FILE): any (dataset, k) cell whose measured speedup falls below 80% of
+// its committed speedup fails the gate.
+func CheckTopK(cfg Config, baselinePath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("bench: reading topk baselines: %w", err)
+	}
+	var file struct {
+		Baselines []TopKBaseline `json:"baselines"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		return fmt.Errorf("bench: parsing topk baselines %s: %w", baselinePath, err)
+	}
+	if len(file.Baselines) == 0 {
+		return fmt.Errorf("bench: no baselines in %s", baselinePath)
+	}
+	results, err := measureTopKSweep(cfg)
+	if err != nil {
+		return err
+	}
+	measured := make(map[string]TopKResult, len(results))
+	for _, r := range results {
+		measured[fmt.Sprintf("%s/k=%d", r.Dataset, r.K)] = r
+	}
+	var failures []error
+	for _, b := range file.Baselines {
+		key := fmt.Sprintf("%s/k=%d", b.Dataset, b.K)
+		r, ok := measured[key]
+		if !ok {
+			failures = append(failures, fmt.Errorf("%s: baseline present but not measured", key))
+			continue
+		}
+		if floor := 0.8 * b.Speedup; r.Speedup < floor {
+			failures = append(failures,
+				fmt.Errorf("%s: speedup %.2fx below floor %.2fx (80%% of committed %.2fx)",
+					key, r.Speedup, floor, b.Speedup))
+		}
+	}
+	return errors.Join(failures...)
+}

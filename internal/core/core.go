@@ -206,6 +206,12 @@ type Precomputed struct {
 		l2inv, u2inv kernel.Matrix
 		h            kernel.Matrix // nil unless H was retained
 	}
+
+	// topkNu caches the per-column certified factor-response bounds the
+	// block-pruned top-k solve uses (see topKColBounds). Built lazily on
+	// the first top-k query; derived, never serialized.
+	topkOnce sync.Once
+	topkNu   []float64
 }
 
 // initDerived fills the fields computed from the serialized ones; it must

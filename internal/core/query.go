@@ -307,8 +307,28 @@ func (p *Precomputed) blockOfPos(pos int) int {
 // [0, len(scores)]. It runs in O(n log k) with a bounded min-heap whose
 // root is the weakest retained candidate, allocating only the result.
 func TopK(scores []float64, k int) []int {
-	if k > len(scores) {
-		k = len(scores)
+	return topKFiltered(scores, k, nil)
+}
+
+// topKFiltered is the candidate filter shared by TopK, TopKExcluding, and
+// TopKCandidates: indices for which skip returns true never enter the
+// heap, everything else ranks exactly as in TopK.
+func topKFiltered(scores []float64, k int, skip func(int) bool) []int {
+	return topKOver(scores, k, nil, skip)
+}
+
+// topKOver is the bounded min-heap behind every top-k selection. ids
+// restricts the candidates to a subset of indices (nil means all of
+// scores); indices for which skip returns true never enter the heap.
+// Candidates rank by descending score, ties by ascending id, NaN ordered
+// explicitly as the worst possible score.
+func topKOver(scores []float64, k int, ids []int, skip func(int) bool) []int {
+	limit := len(scores)
+	if ids != nil {
+		limit = len(ids)
+	}
+	if k > limit {
+		k = limit
 	}
 	if k <= 0 {
 		return []int{}
@@ -328,7 +348,7 @@ func TopK(scores []float64, k int) []int {
 		return sa < sb || (sa == sb && a > b)
 	}
 	h := make([]int, 0, k)
-	for i := range scores {
+	add := func(i int) {
 		if len(h) < k {
 			// Sift up.
 			h = append(h, i)
@@ -340,10 +360,10 @@ func TopK(scores []float64, k int) []int {
 				h[c], h[par] = h[par], h[c]
 				c = par
 			}
-			continue
+			return
 		}
 		if worse(i, h[0]) {
-			continue
+			return
 		}
 		// Replace the weakest and sift down.
 		h[0] = i
@@ -360,6 +380,18 @@ func TopK(scores []float64, k int) []int {
 			}
 			h[c], h[m] = h[m], h[c]
 			c = m
+		}
+	}
+	if ids != nil {
+		for _, i := range ids {
+			add(i)
+		}
+	} else {
+		for i := range scores {
+			if skip != nil && skip(i) {
+				continue
+			}
+			add(i)
 		}
 	}
 	sort.Slice(h, func(a, b int) bool { return worse(h[b], h[a]) })

@@ -1,0 +1,291 @@
+package core
+
+// Block-pruned single-seed top-k back-substitution. The full exact solve
+// spends most of its time in backSolveTo's L₁⁻¹/U₁⁻¹ products over every
+// spoke block, yet a top-k query only needs exact scores for blocks that
+// can plausibly reach rank k. Because H is an M-matrix, each block's
+// solution admits a certified a-priori bound from quantities that are
+// cheap to precompute:
+//
+//	x₁ᵢ = U₁ᵢ⁻¹ L₁ᵢ⁻¹ zᵢ  ⇒  ‖x₁ᵢ‖_∞ ≤ ‖x₁ᵢ‖₁ ≤ Σ_j |zᵢ[j]| · ν[j],
+//
+// where ν[j] ≥ ‖U₁ᵢ⁻¹ L₁ᵢ⁻¹ e_j‖₁ is a per-column bound on the ℓ₁ mass of
+// the block factors' response to a unit impulse, computed once per index
+// from the stored factors (see topKColBounds). Blocks whose bound falls
+// strictly below the current k-th best exact score cannot contain a top-k
+// node and their two triangular products are skipped outright; every score
+// that is computed runs through the same kernels in the same order as the
+// full solve, so computed entries are bit-identical and the returned top-k
+// set provably equals TopK(full exact solve, k).
+
+import (
+	"context"
+	"math"
+	"sort"
+
+	"bear/internal/sparse/kernel"
+)
+
+// topKBoundSlack inflates computed bounds so floating-point rounding in
+// the bound arithmetic (relative error ~1e-14 per accumulation chain)
+// can never let a true score escape its certificate.
+const topKBoundSlack = 1 + 1e-9
+
+// topKColBounds returns ν: for each spoke column j, a certified upper
+// bound on ‖U₁⁻¹L₁⁻¹e_j‖₁ (the factors are block diagonal, so the bound
+// is per-block by construction). Writing colU[k] = ‖U₁⁻¹e_k‖₁ (the k-th
+// absolute column sum of the stored U₁⁻¹),
+//
+//	‖U₁⁻¹L₁⁻¹e_j‖₁ = ‖U₁⁻¹ (L₁⁻¹e_j)‖₁ ≤ Σ_k |L₁⁻¹[k,j]| · colU[k],
+//
+// one weighted pass over L₁⁻¹'s nonzeros. The result is cached on the
+// Precomputed (it depends only on the immutable factors).
+func (p *Precomputed) topKColBounds() []float64 {
+	p.topkOnce.Do(func() {
+		n1 := p.N1
+		nu := make([]float64, n1)
+		if n1 == 0 || p.L1Inv == nil || p.U1Inv == nil {
+			p.topkNu = nu
+			return
+		}
+		colU := make([]float64, n1)
+		u := p.U1Inv
+		for r := 0; r < u.R; r++ {
+			for idx := u.RowPtr[r]; idx < u.RowPtr[r+1]; idx++ {
+				colU[u.ColIdx[idx]] += math.Abs(u.Val[idx])
+			}
+		}
+		l := p.L1Inv
+		for r := 0; r < l.R; r++ {
+			w := colU[r]
+			for idx := l.RowPtr[r]; idx < l.RowPtr[r+1]; idx++ {
+				nu[l.ColIdx[idx]] += math.Abs(l.Val[idx]) * w
+			}
+		}
+		for j := range nu {
+			nu[j] *= topKBoundSlack
+		}
+		p.topkNu = nu
+	})
+	return p.topkNu
+}
+
+// topKIDHeap is a bounded min-heap of node ids ranked by a score vector
+// under TopK's comparator (descending score, ties by ascending id): the
+// root is the weakest retained candidate, so once the heap holds k ids
+// its root score is the running k-th best exact score θ, and at the end
+// of the solve the heap IS the top-k — no dense rescan needed. Exact
+// scores are finite factor products, never NaN, so the comparator skips
+// TopK's explicit NaN ordering.
+type topKIDHeap struct {
+	scores []float64
+	h      []int
+	k      int
+}
+
+// worse reports whether candidate a ranks strictly below b.
+func (q *topKIDHeap) worse(a, b int) bool {
+	sa, sb := q.scores[a], q.scores[b]
+	return sa < sb || (sa == sb && a > b)
+}
+
+func (q *topKIDHeap) push(i int) {
+	if len(q.h) < q.k {
+		q.h = append(q.h, i)
+		for c := len(q.h) - 1; c > 0; {
+			par := (c - 1) / 2
+			if !q.worse(q.h[c], q.h[par]) {
+				break
+			}
+			q.h[c], q.h[par] = q.h[par], q.h[c]
+			c = par
+		}
+		return
+	}
+	if q.worse(i, q.h[0]) {
+		return
+	}
+	q.h[0] = i
+	for c := 0; ; {
+		l, r, m := 2*c+1, 2*c+2, c
+		if l < q.k && q.worse(q.h[l], q.h[m]) {
+			m = l
+		}
+		if r < q.k && q.worse(q.h[r], q.h[m]) {
+			m = r
+		}
+		if m == c {
+			break
+		}
+		q.h[c], q.h[m] = q.h[m], q.h[c]
+		c = m
+	}
+}
+
+// theta returns the current k-th best score, or (0, false) while fewer
+// than k scores have been seen (no block may be pruned on score yet).
+func (q *topKIDHeap) theta() (float64, bool) {
+	if len(q.h) < q.k {
+		return 0, false
+	}
+	return q.scores[q.h[0]], true
+}
+
+// solveSeedTopKCtx answers a single-seed top-k query with the block-pruned
+// exact solve. It mirrors solveSeedToCtx through the forward and Schur
+// stages (hub scores are always exact), then back-substitutes spoke blocks
+// in decreasing order of their certified score bound, stopping as soon as
+// the remaining bounds fall strictly below the running k-th best exact
+// score. Scores are final (restart-scaled); nodes are graph ids ranked
+// with TopK's exact comparator. solved and skipped count spoke blocks.
+func (p *Precomputed) solveSeedTopKCtx(ctx context.Context, seed, k int, ws *Workspace) (nodes []int, scores []float64, solved, skipped int, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, 0, 0, err
+	}
+	n1, n2 := p.N1, p.N2
+	c := p.C
+	pos := p.Perm[seed]
+	bp := ws.full
+	for i := range bp {
+		bp[i] = 0
+	}
+	bp[pos] = 1
+	b1, b2 := bp[:n1], bp[n1:]
+
+	// Forward and Schur stages, exactly as solveSeedToCtx: the seed block's
+	// restricted factor products feed the hub system, whose solution r2 is
+	// exact for every hub.
+	var r2 []float64
+	if n2 > 0 {
+		if pos < n1 {
+			bi := p.blockOfPos(pos)
+			lo, hi := p.BlockOffsets[bi], p.BlockOffsets[bi+1]
+			p.kern.l1inv.SpMVRange(ws.s1a, b1, lo, hi, kernel.Exact)
+			p.kern.u1inv.SpMVRange(ws.s1b, ws.s1a, lo, hi, kernel.Exact)
+			if err := ctx.Err(); err != nil {
+				return nil, nil, 0, 0, err
+			}
+			r2 = p.schurSolveTo(b2, ws.s1b, lo, hi, ws)
+		} else {
+			r2 = p.schurSolveTo(b2, nil, 0, 0, ws)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, 0, 0, err
+	}
+
+	// z = b₁ − H₁₂r₂, the shared right-hand side of every block's back
+	// substitution — identical to backSolveTo's, and needed in full for the
+	// per-block bounds anyway.
+	z := ws.s1a
+	if n2 > 0 {
+		p.kern.h12.SpMV(z, r2, kernel.Exact)
+	} else {
+		for i := range z {
+			z[i] = 0
+		}
+	}
+	for i := range z {
+		z[i] = b1[i] - z[i]
+	}
+
+	// bp is dead once z exists (schurSolveTo's result lives in s2a/s2b),
+	// so its backing array is recycled as the score vector.
+	dst := ws.full
+	for i := range dst {
+		dst[i] = 0
+	}
+	heap := topKIDHeap{scores: dst, k: k}
+	for i := 0; i < n2; i++ {
+		v := p.InvPerm[n1+i]
+		dst[v] = c * r2[i]
+		heap.push(v)
+	}
+
+	nu := p.topKColBounds()
+	nblocks := len(p.BlockOffsets) - 1
+	seedBlock := -1
+	if pos < n1 {
+		seedBlock = p.blockOfPos(pos)
+	}
+	solveBlock := func(bi int) {
+		lo, hi := p.BlockOffsets[bi], p.BlockOffsets[bi+1]
+		// The factors are block diagonal: rows [lo,hi) read only columns
+		// [lo,hi), so x₁ᵢ may overwrite z's block range in place once its
+		// L-product is taken.
+		p.kern.l1inv.SpMVRange(ws.s1b, z, lo, hi, kernel.Exact)
+		p.kern.u1inv.SpMVRange(z, ws.s1b, lo, hi, kernel.Exact)
+		for j := lo; j < hi; j++ {
+			v := p.InvPerm[j]
+			dst[v] = c * z[j]
+			heap.push(v)
+		}
+		solved++
+	}
+
+	// The seed's own block always resolves exactly: it holds the restart
+	// mass and seeds θ with the highest scores in most queries.
+	if seedBlock >= 0 {
+		solveBlock(seedBlock)
+	}
+
+	// One filtering pass prunes against the θ the seed block and hubs
+	// already established — θ only grows, so a block rejected here stays
+	// certifiably outside the top k. Survivors (typically a handful) are
+	// sorted by bound and re-checked against the tightening θ as they
+	// resolve. A zero bound means the block's solution is exactly zero
+	// (dst already holds it — this is Lemma 1's sparsity, recovered from
+	// the bound itself).
+	type bound struct {
+		bi int
+		u  float64
+	}
+	var survivors []bound
+	theta, full := heap.theta()
+	for bi := 0; bi < nblocks; bi++ {
+		if bi == seedBlock {
+			continue
+		}
+		lo, hi := p.BlockOffsets[bi], p.BlockOffsets[bi+1]
+		var u float64
+		for j := lo; j < hi; j++ {
+			u += nu[j] * math.Abs(z[j])
+		}
+		u *= c * topKBoundSlack
+		if u == 0 || (full && u < theta) {
+			skipped++
+			continue
+		}
+		survivors = append(survivors, bound{bi, u})
+	}
+	sort.Slice(survivors, func(i, j int) bool { return survivors[i].u > survivors[j].u })
+	for i, b := range survivors {
+		theta, full = heap.theta()
+		if full && b.u < theta {
+			skipped += len(survivors) - i
+			break
+		}
+		if i&63 == 63 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, solved, skipped, err
+			}
+		}
+		solveBlock(b.bi)
+	}
+
+	if th, full := heap.theta(); !full || th <= 0 {
+		// Fewer than k scores were computed, or zeros reached rank k. Zero
+		// scores tie across computed and skipped nodes — both hold exactly
+		// 0 in dst — and only a dense selection ranks that tie the way the
+		// full solve's TopK does.
+		nodes = TopK(dst, k)
+	} else {
+		nodes = append([]int(nil), heap.h...)
+		sort.Slice(nodes, func(a, b int) bool { return heap.worse(nodes[b], nodes[a]) })
+	}
+	scores = make([]float64, len(nodes))
+	for i, v := range nodes {
+		scores[i] = dst[v]
+	}
+	return nodes, scores, solved, skipped, nil
+}

@@ -1,7 +1,9 @@
 package rwr
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"bear/internal/graph"
 	"bear/internal/sparse"
@@ -40,68 +42,20 @@ type pushSolver struct {
 }
 
 func (s *pushSolver) Query(q []float64) ([]float64, error) {
-	n := s.a.R
-	if len(q) != n {
-		return nil, fmt.Errorf("rwr: starting vector length %d, want %d", len(q), n)
+	ps := NewPusher(s.a, s.opts.C)
+	if err := ps.Reset(q); err != nil {
+		return nil, err
 	}
-	c := s.opts.C
-	// Residual threshold: push u while r[u] > ε_b · (outdeg(u)+1). The +1
-	// keeps dangling and degree-one nodes on a comparable scale.
-	eps := s.opts.EpsB
-
-	p := make([]float64, n)
-	r := make([]float64, n)
-	inQueue := make([]bool, n)
-	queue := make([]int, 0, 256)
-	push := func(u int) {
-		if !inQueue[u] {
-			inQueue[u] = true
-			queue = append(queue, u)
-		}
-	}
-	for u, v := range q {
-		if v > 0 {
-			r[u] = v
-			push(u)
-		}
-	}
-
-	threshold := func(u int) float64 {
-		return eps * float64(s.a.RowPtr[u+1]-s.a.RowPtr[u]+1)
-	}
-
 	// Each push moves a c-fraction of residual mass into p, so total work
 	// is O(total pushed mass / (c·ε_b)); the explicit cap below is a
 	// safety net against pathological thresholds.
-	maxPushes := s.opts.MaxIters * n
-	pushes := 0
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		inQueue[u] = false
-		ru := r[u]
-		if ru <= threshold(u) {
-			continue
-		}
-		if pushes++; pushes > maxPushes {
-			return nil, fmt.Errorf("rwr: local push exceeded %d pushes; lower ε_b or raise MaxIters", maxPushes)
-		}
-		p[u] += c * ru
-		r[u] = 0
-		lo, hi := s.a.RowPtr[u], s.a.RowPtr[u+1]
-		if lo == hi {
-			continue // dangling: the (1−c) mass leaks, as in the exact system
-		}
-		spread := (1 - c) * ru
-		for k := lo; k < hi; k++ {
-			v := s.a.ColIdx[k]
-			r[v] += spread * s.a.Val[k]
-			if r[v] > threshold(v) {
-				push(v)
-			}
-		}
+	maxPushes := s.opts.MaxIters * s.a.R
+	if done, err := ps.Run(s.opts.EpsB, maxPushes); err != nil {
+		return nil, err
+	} else if !done {
+		return nil, fmt.Errorf("rwr: local push exceeded %d pushes; lower ε_b or raise MaxIters", maxPushes)
 	}
-	return p, nil
+	return ps.Estimates(), nil
 }
 
 // NNZ counts the transition-matrix entries; push keeps no precomputed data
@@ -109,3 +63,249 @@ func (s *pushSolver) Query(q []float64) ([]float64, error) {
 func (s *pushSolver) NNZ() int64 { return int64(s.a.NNZ()) }
 
 func (s *pushSolver) Bytes() int64 { return s.a.Bytes() }
+
+// intQueue is a FIFO of node ids whose memory is bounded by the live
+// frontier, not by the total number of enqueues. The naïve
+// `queue = queue[1:]` drain keeps every drained element reachable in the
+// backing array, so a long push run grows memory with the push count;
+// here a head index marks the dead prefix and push compacts it away once
+// it dominates the buffer, so capacity stays within a small factor of the
+// peak frontier size (asserted by the allocation regression test).
+type intQueue struct {
+	buf  []int
+	head int
+}
+
+func (q *intQueue) len() int { return len(q.buf) - q.head }
+
+func (q *intQueue) push(v int) {
+	if q.head == len(q.buf) {
+		// Empty: restart at the front of the existing backing array.
+		q.buf, q.head = q.buf[:0], 0
+	} else if q.head > 64 && q.head > len(q.buf)/2 {
+		// The dead prefix dominates: slide the live elements down so
+		// append reuses the space instead of growing the array.
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf, q.head = q.buf[:n], 0
+	}
+	q.buf = append(q.buf, v)
+}
+
+func (q *intQueue) pop() (int, bool) {
+	if q.head == len(q.buf) {
+		return 0, false
+	}
+	v := q.buf[q.head]
+	q.head++
+	return v, true
+}
+
+// Pusher is a restartable forward local-push engine over a row-normalized
+// transition matrix. Unlike the one-shot Solver interface it exposes the
+// estimate/residual pair of the push invariant
+//
+//	exact = p + Σ_u r[u] · rwr(u),
+//
+// so callers can read certified score bounds: every entry of every rwr(u)
+// vector lies in [0, 1], hence for each node v
+//
+//	p[v] ≤ exact[v] ≤ p[v] + Σ_u r[u].
+//
+// Run may be called repeatedly with decreasing thresholds; the engine
+// resumes from the retained (p, r) state, so tightening the bound costs
+// only the additional pushes. A Pusher is not safe for concurrent use.
+type Pusher struct {
+	a *sparse.CSR // row-normalized Ã
+	c float64
+
+	p, r    []float64
+	touched []int // nodes whose residual was ever nonzero, no duplicates
+	seen    []bool
+	inQueue []bool
+	queue   intQueue
+	pushes  int
+}
+
+// NewPusher returns a push engine over the row-normalized adjacency a with
+// restart probability c. The matrix is retained, not copied.
+func NewPusher(a *sparse.CSR, c float64) *Pusher {
+	n := a.R
+	return &Pusher{
+		a:       a,
+		c:       c,
+		p:       make([]float64, n),
+		r:       make([]float64, n),
+		seen:    make([]bool, n),
+		inQueue: make([]bool, n),
+	}
+}
+
+// ErrBadSeedMass reports a starting vector carrying NaN, infinite, or
+// negative entries. Silently skipping such entries (as `if v > 0` does for
+// NaN) would return a quietly truncated distribution, so they are rejected
+// up front.
+var ErrBadSeedMass = errors.New("rwr: starting vector entries must be finite and non-negative")
+
+// Reset installs a fresh starting distribution, clearing any previous push
+// state. Entries must be finite and non-negative; anything else returns an
+// error wrapping ErrBadSeedMass before any state is modified.
+func (ps *Pusher) Reset(q []float64) error {
+	n := ps.a.R
+	if len(q) != n {
+		return fmt.Errorf("rwr: starting vector length %d, want %d", len(q), n)
+	}
+	for u, v := range q {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("%w: entry %d is %g", ErrBadSeedMass, u, v)
+		}
+	}
+	ps.clear()
+	for u, v := range q {
+		if v > 0 {
+			ps.r[u] = v
+			ps.touch(u)
+		}
+	}
+	return nil
+}
+
+// ResetSeed is Reset with the canonical single-seed starting vector e_seed.
+func (ps *Pusher) ResetSeed(seed int) error {
+	n := ps.a.R
+	if seed < 0 || seed >= n {
+		return fmt.Errorf("rwr: seed %d out of range [0,%d)", seed, n)
+	}
+	ps.clear()
+	ps.r[seed] = 1
+	ps.touch(seed)
+	return nil
+}
+
+// clear wipes all push state, touching only the nodes a previous query
+// reached (the queue is already empty or about to be dropped wholesale).
+func (ps *Pusher) clear() {
+	for _, u := range ps.touched {
+		ps.p[u], ps.r[u] = 0, 0
+		ps.seen[u] = false
+		ps.inQueue[u] = false
+	}
+	ps.touched = ps.touched[:0]
+	ps.queue.buf, ps.queue.head = ps.queue.buf[:0], 0
+	ps.pushes = 0
+}
+
+func (ps *Pusher) touch(u int) {
+	if !ps.seen[u] {
+		ps.seen[u] = true
+		ps.touched = append(ps.touched, u)
+	}
+	if !ps.inQueue[u] {
+		ps.inQueue[u] = true
+		ps.queue.push(u)
+	}
+}
+
+// threshold is the push trigger: a node is pushed while its residual
+// exceeds eps·(outdeg+1). The +1 keeps dangling and degree-one nodes on a
+// comparable scale.
+func (ps *Pusher) threshold(u int, eps float64) float64 {
+	return eps * float64(ps.a.RowPtr[u+1]-ps.a.RowPtr[u]+1)
+}
+
+// Run pushes until no node's residual exceeds eps times its out-degree
+// scale, or until this call has performed maxPushes pushes (maxPushes <= 0
+// means unbounded). It reports whether the frontier fully drained; false
+// means the budget ran out and another Run call can continue. eps may be
+// lower than in previous runs: the engine rescans the touched set for
+// nodes the tighter threshold re-activates.
+func (ps *Pusher) Run(eps float64, maxPushes int) (drained bool, err error) {
+	if math.IsNaN(eps) || eps < 0 {
+		return false, fmt.Errorf("rwr: push threshold %g must be non-negative", eps)
+	}
+	// Re-arm nodes whose residual sits between the new and any previous
+	// threshold; for the first run after Reset this is a no-op (the seeds
+	// are already queued).
+	for _, u := range ps.touched {
+		if !ps.inQueue[u] && ps.r[u] > ps.threshold(u, eps) {
+			ps.inQueue[u] = true
+			ps.queue.push(u)
+		}
+	}
+	a := ps.a
+	c := ps.c
+	done := 0
+	for {
+		u, ok := ps.queue.pop()
+		if !ok {
+			return true, nil
+		}
+		ps.inQueue[u] = false
+		ru := ps.r[u]
+		if ru <= ps.threshold(u, eps) {
+			continue
+		}
+		if maxPushes > 0 && done >= maxPushes {
+			// Put u back so the retained state still satisfies the
+			// invariant bookkeeping (it was popped but not pushed).
+			ps.inQueue[u] = true
+			ps.queue.push(u)
+			return false, nil
+		}
+		done++
+		ps.pushes++
+		ps.p[u] += c * ru
+		ps.r[u] = 0
+		lo, hi := a.RowPtr[u], a.RowPtr[u+1]
+		if lo == hi {
+			continue // dangling: the (1−c) mass leaks, as in the exact system
+		}
+		spread := (1 - c) * ru
+		for k := lo; k < hi; k++ {
+			v := a.ColIdx[k]
+			ps.r[v] += spread * a.Val[k]
+			if !ps.seen[v] {
+				ps.seen[v] = true
+				ps.touched = append(ps.touched, v)
+			}
+			if ps.r[v] > ps.threshold(v, eps) && !ps.inQueue[v] {
+				ps.inQueue[v] = true
+				ps.queue.push(v)
+			}
+		}
+	}
+}
+
+// Estimates returns the current estimate vector p — the certified lower
+// bound on the exact RWR scores. The slice is a copy and safe to retain.
+func (ps *Pusher) Estimates() []float64 {
+	return append([]float64(nil), ps.p...)
+}
+
+// EstimatesRef returns the live estimate vector without copying. It is
+// valid until the next Run or Reset and must not be modified.
+func (ps *Pusher) EstimatesRef() []float64 { return ps.p }
+
+// ResidualMass returns R = Σ_u r[u], the total unsettled probability mass.
+// Every exact score satisfies p[v] ≤ exact[v] ≤ p[v] + R. The sum is
+// recomputed over the touched set on every call, so it carries no drift
+// from incremental bookkeeping.
+func (ps *Pusher) ResidualMass() float64 {
+	var sum float64
+	for _, u := range ps.touched {
+		sum += ps.r[u]
+	}
+	return sum
+}
+
+// Pushes reports the total pushes performed since the last Reset.
+func (ps *Pusher) Pushes() int { return ps.pushes }
+
+// Touched reports how many distinct nodes hold or ever held residual mass —
+// the footprint of the local computation.
+func (ps *Pusher) Touched() int { return len(ps.touched) }
+
+// TouchedRef returns the live list of nodes that hold or ever held
+// residual mass since the last Reset, in first-touch order, without
+// copying. Every node outside the list has estimate exactly zero. The
+// slice is valid until the next Run or Reset and must not be modified.
+func (ps *Pusher) TouchedRef() []int { return ps.touched }

@@ -1,0 +1,223 @@
+package rwr
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bear/internal/graph/gen"
+)
+
+// TestIntQueueBoundedCapacity is the allocation regression test for the
+// FIFO drain: the old `queue = queue[1:]` kept every drained element
+// reachable, so capacity grew with total enqueues. The head-index queue
+// must keep capacity within a small factor of the peak live size no matter
+// how many elements stream through.
+func TestIntQueueBoundedCapacity(t *testing.T) {
+	var q intQueue
+	const live = 8
+	for i := 0; i < live; i++ {
+		q.push(i)
+	}
+	for i := 0; i < 1_000_000; i++ {
+		if _, ok := q.pop(); !ok {
+			t.Fatal("queue unexpectedly empty")
+		}
+		q.push(i)
+	}
+	if q.len() != live {
+		t.Fatalf("live count %d, want %d", q.len(), live)
+	}
+	// 1e6 elements streamed through; a leaking implementation holds
+	// megabytes here. Allow generous slack over the live size for the
+	// compaction hysteresis and append growth.
+	if c := cap(q.buf); c > 1024 {
+		t.Fatalf("queue capacity %d after 1e6 cycles with %d live elements; backing array is leaking", c, live)
+	}
+	// FIFO order must survive compaction.
+	q.buf, q.head = q.buf[:0], 0
+	for i := 0; i < 200; i++ {
+		q.push(i)
+		if i%2 == 1 {
+			if v, _ := q.pop(); v != i/2 {
+				t.Fatalf("pop returned %d, want %d", v, i/2)
+			}
+		}
+	}
+}
+
+// TestPushQueueMemoryOnWideFrontier drives a real push whose frontier
+// repeatedly re-activates nodes (a dense ring of hubs) and checks the
+// queue's backing array stays bounded by the frontier, not the push count.
+func TestPushQueueMemoryOnWideFrontier(t *testing.T) {
+	g := gen.ErdosRenyi(400, 8000, 11)
+	ps := NewPusher(g.Normalized(), 0.05)
+	if err := ps.ResetSeed(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.Run(1e-9, 0); err != nil {
+		t.Fatal(err)
+	}
+	if ps.Pushes() < 1000 {
+		t.Skipf("only %d pushes; graph too easy to exercise the queue", ps.Pushes())
+	}
+	if c := cap(ps.queue.buf); c > 4*g.N() {
+		t.Fatalf("queue capacity %d after %d pushes on a %d-node graph; backing array grows with push count",
+			c, ps.Pushes(), g.N())
+	}
+}
+
+func TestPushRejectsBadSeedMass(t *testing.T) {
+	g := gen.ErdosRenyi(50, 200, 7)
+	s, err := LocalPush{}.Preprocess(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, bad := range map[string]float64{
+		"nan":      math.NaN(),
+		"neg":      -0.5,
+		"posinf":   math.Inf(1),
+		"neginf":   math.Inf(-1),
+		"tiny-neg": -1e-300,
+	} {
+		q := make([]float64, g.N())
+		q[3] = 1
+		q[7] = bad
+		if _, err := s.Query(q); err == nil {
+			t.Errorf("%s: Query accepted a starting vector with entry %g", name, bad)
+		} else if !strings.Contains(err.Error(), "finite and non-negative") {
+			t.Errorf("%s: error %q does not name the validation rule", name, err)
+		}
+	}
+	// Zero entries remain fine (they carry no mass).
+	q := make([]float64, g.N())
+	q[3] = 1
+	if _, err := s.Query(q); err != nil {
+		t.Fatalf("Query rejected a valid seed vector: %v", err)
+	}
+}
+
+// TestPusherBoundsBracketExact checks the certified bound the hybrid
+// top-k path relies on: p[v] <= exact[v] <= p[v] + R at every threshold,
+// and that resuming Run with a tighter threshold only shrinks R.
+func TestPusherBoundsBracketExact(t *testing.T) {
+	g := gen.RMAT(gen.NewRMATPul(256, 1500, 0.7, 5))
+	exactS, err := Inversion{}.Preprocess(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	ps := NewPusher(g.Normalized(), 0.05)
+	for trial := 0; trial < 5; trial++ {
+		seed := rng.Intn(g.N())
+		exact, err := SeedQuery(exactS, g.N(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ps.ResetSeed(seed); err != nil {
+			t.Fatal(err)
+		}
+		prevR := math.Inf(1)
+		for _, eps := range []float64{1e-3, 1e-5, 1e-7} {
+			if done, err := ps.Run(eps, 0); err != nil || !done {
+				t.Fatalf("Run(%g): done=%v err=%v", eps, done, err)
+			}
+			r := ps.ResidualMass()
+			if r > prevR+1e-12 {
+				t.Fatalf("residual mass grew from %g to %g at eps=%g", prevR, r, eps)
+			}
+			prevR = r
+			p := ps.EstimatesRef()
+			const fp = 1e-9 // rounding slack on the invariant
+			for v := range p {
+				if p[v] > exact[v]+fp {
+					t.Fatalf("eps=%g: lower bound violated at %d: p=%g exact=%g", eps, v, p[v], exact[v])
+				}
+				if exact[v] > p[v]+r+fp {
+					t.Fatalf("eps=%g: upper bound violated at %d: exact=%g p+R=%g", eps, v, exact[v], p[v]+r)
+				}
+			}
+		}
+	}
+}
+
+// TestPusherBudgetResume checks that a budget-limited Run picks up where
+// it left off and converges to the same estimates as an unbudgeted run.
+func TestPusherBudgetResume(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, 21)
+	a := g.Normalized()
+
+	one := NewPusher(a, 0.05)
+	if err := one.ResetSeed(1); err != nil {
+		t.Fatal(err)
+	}
+	if done, err := one.Run(1e-8, 0); err != nil || !done {
+		t.Fatalf("unbudgeted run: done=%v err=%v", done, err)
+	}
+
+	stepped := NewPusher(a, 0.05)
+	if err := stepped.ResetSeed(1); err != nil {
+		t.Fatal(err)
+	}
+	rounds := 0
+	for {
+		done, err := stepped.Run(1e-8, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds++
+		if done {
+			break
+		}
+		if rounds > 100000 {
+			t.Fatal("budgeted run failed to converge")
+		}
+	}
+	if rounds < 2 {
+		t.Fatalf("budget never bit: %d rounds for %d pushes", rounds, stepped.Pushes())
+	}
+	// A budget stop re-queues the popped node at the tail, so push order —
+	// and hence the exact split between p and r — differs from the one-shot
+	// run. Both runs still bracket the same exact score, so they can differ
+	// by at most the larger residual mass.
+	tol := math.Max(one.ResidualMass(), stepped.ResidualMass()) + 1e-15
+	got, want := stepped.EstimatesRef(), one.EstimatesRef()
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > tol {
+			t.Fatalf("budgeted estimates diverge at %d: %g vs %g (tol %g)", v, got[v], want[v], tol)
+		}
+	}
+}
+
+// TestPusherReuseAcrossSeeds guards Reset hygiene: interleaving queries on
+// one Pusher must match fresh engines.
+func TestPusherReuseAcrossSeeds(t *testing.T) {
+	g := gen.CavemanHubs(gen.CavemanHubsConfig{Communities: 6, Size: 15, PIntra: 0.3, Hubs: 3, HubDeg: 10, Seed: 13})
+	a := g.Normalized()
+	shared := NewPusher(a, 0.05)
+	for seed := 0; seed < 10; seed++ {
+		if err := shared.ResetSeed(seed); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := shared.Run(1e-6, 0); err != nil {
+			t.Fatal(err)
+		}
+		fresh := NewPusher(a, 0.05)
+		if err := fresh.ResetSeed(seed); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fresh.Run(1e-6, 0); err != nil {
+			t.Fatal(err)
+		}
+		sg, fg := shared.EstimatesRef(), fresh.EstimatesRef()
+		for v := range fg {
+			if sg[v] != fg[v] {
+				t.Fatalf("seed %d: reused pusher diverges at node %d: %g vs %g", seed, v, sg[v], fg[v])
+			}
+		}
+		if sr, fr := shared.ResidualMass(), fresh.ResidualMass(); sr != fr {
+			t.Fatalf("seed %d: residual mass %g vs %g", seed, sr, fr)
+		}
+	}
+}

@@ -60,3 +60,38 @@ func FuzzReadSnapshot(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCandidatesRequest throws arbitrary bodies at the /candidates request
+// parser: no input may panic, and whatever validates must come back
+// normalized — seeds in range, K in [1, n].
+func FuzzCandidatesRequest(f *testing.F) {
+	f.Add([]byte(`{"seeds":[0,1,2],"k":5}`))
+	f.Add([]byte(`{"seeds":[0]}`))
+	f.Add([]byte(`{"seeds":[],"k":0}`))
+	f.Add([]byte(`{"seeds":[-1],"k":-7}`))
+	f.Add([]byte(`{"seeds":[9999999999999999999]}`))
+	f.Add([]byte(`{"k":3}`))
+	f.Add([]byte(`{"seeds":"zero"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte("\xff\xfe{}"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 100
+		req, err := parseCandidatesRequest(bytes.NewReader(data), n)
+		if err != nil {
+			return
+		}
+		if len(req.Seeds) == 0 || len(req.Seeds) > maxBatchSeeds {
+			t.Fatalf("validated request has %d seeds", len(req.Seeds))
+		}
+		for _, s := range req.Seeds {
+			if s < 0 || s >= n {
+				t.Fatalf("validated request kept out-of-range seed %d", s)
+			}
+		}
+		if req.K <= 0 || req.K > n {
+			t.Fatalf("validated request has K=%d outside [1,%d]", req.K, n)
+		}
+	})
+}

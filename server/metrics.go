@@ -40,6 +40,9 @@ type serverMetrics struct {
 	refineSweeps   *obsv.Counter
 	refineResidual *obsv.Histogram
 
+	topkPruned         *obsv.Counter
+	candidatesRequests *obsv.Counter
+
 	cacheHits      *obsv.FuncCounter
 	cacheMisses    *obsv.FuncCounter
 	cacheCoalesced *obsv.FuncCounter
@@ -88,6 +91,11 @@ func (s *Server) metrics() *serverMetrics {
 			"Richardson refinement sweeps applied across all refined queries; the ratio to bear_refine_queries_total is the mean sweeps per query.")
 		m.refineResidual = reg.Histogram("bear_refine_residual",
 			"Final score-level residual infinity-norm of refined queries.", obsv.ResidualBuckets)
+
+		m.topkPruned = reg.Counter("bear_topk_pruned_total",
+			"Hybrid top-k solves certified from local-push bounds alone, skipping the exact block-elimination solve. Cache hits are not re-counted.")
+		m.candidatesRequests = reg.Counter("bear_candidates_requests_total",
+			"Link-prediction candidate requests served (POST /candidates), counted before validation.")
 
 		cacheStats := func() resultcache.Stats { return s.resultCache().Stats() }
 		m.cacheHits = reg.CounterFunc("bear_cache_hits_total",

@@ -192,6 +192,8 @@ func (s *Server) Handler() http.Handler {
 	api.HandleFunc("GET /v1/graphs/{name}/pagerank", s.instrument("pagerank", s.handlePageRank))
 	api.HandleFunc("POST /v1/graphs/{name}/ppr", s.instrument("ppr", s.handlePPR))
 	api.HandleFunc("POST /v1/graphs/{name}/batch", s.instrument("batch", s.handleBatch))
+	api.HandleFunc("GET /v1/graphs/{name}/topk", s.instrument("topk", s.handleTopK))
+	api.HandleFunc("POST /v1/graphs/{name}/candidates", s.instrument("candidates", s.handleCandidates))
 	api.HandleFunc("POST /v1/graphs/{name}/edges", s.instrument("edges", s.handleEdges))
 	api.HandleFunc("POST /v1/graphs/{name}/rebuild", s.instrument("rebuild", s.handleRebuild))
 	api.HandleFunc("POST /v1/snapshot", s.instrument("snapshot", s.handleSnapshot))
@@ -742,6 +744,21 @@ func (s *Server) handlePPR(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		q[node] = weight
+	}
+	// Per-weight validation allows 0 (a harmless no-op entry), but a map
+	// whose weights are *all* zero describes no starting distribution at
+	// all — solving it would cache and return an all-zero vector. Reject
+	// before the cache lookup.
+	allZero := true
+	for _, weight := range q {
+		if weight != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		writeError(w, errBadRequest("seed weights must not all be zero"))
+		return
 	}
 	top := req.Top
 	if top <= 0 {
